@@ -1,0 +1,28 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Traces are expensive (interpreting kernels at bench scale); they are
+computed once per session through the module-level caches in
+``repro.experiments`` and shared by every benchmark.  The ``benchmark``
+fixture then measures the analysis/model stage, which is what varies
+between runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import BENCH_SAMPLE_GROUPS  # noqa: F401  (re-export)
+
+#: the scale every paper benchmark runs at
+SCALE = "bench"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return SCALE
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper: benchmark reproducing a specific paper table/figure"
+    )

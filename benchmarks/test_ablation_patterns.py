@@ -1,0 +1,102 @@
+"""Ablation — the derived '+ -> + -> *' index pattern (Fig. 7(b)).
+
+The paper extends the plain '+ -> *' matcher with a derived pattern that
+tolerates extra low-dimension terms (loop-dependent offsets, halo
+constants).  This ablation disables the derived handling
+(``strict_patterns=True``) and shows that flattened kernels with
+multi-term dimensions stop being reversible, while simple kernels still
+work — quantifying how much kernel coverage the derived pattern buys.
+"""
+
+import pytest
+
+from repro.core import GroverPass, NotReversible
+from repro.frontend import compile_kernel
+
+#: flat 1-D local array indexed as a 2-D tile *with halo offsets* —
+#: the '+ -> + -> *' shape: ((ly+1) * W + (lx+1))
+FLAT_HALO = r"""
+#define S 8
+#define W (S + 2)
+__kernel void flathalo(__global float* out, __global const float* in, int Wp)
+{
+    __local float lm[(S + 2) * (S + 2)];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    lm[(ly + 1)*W + (lx + 1)] = in[(gy + 1)*Wp + (gx + 1)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[gy*Wp + gx] = lm[ly*W + (lx + 1)] + lm[(ly + 1)*W + lx];
+}
+"""
+
+#: plain '+ -> *' kernel — works under both modes
+FLAT_PLAIN = r"""
+#define S 8
+__kernel void flatplain(__global float* out, __global const float* in, int Wp)
+{
+    __local float lm[S * S];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    lm[ly*S + lx] = in[(int)get_global_id(1)*Wp + (int)get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[(int)get_global_id(1)*Wp + (int)get_global_id(0)] = lm[lx*S + ly];
+}
+"""
+
+
+@pytest.mark.paper
+def test_derived_pattern_enables_halo_kernels(benchmark):
+    def both_modes():
+        ok = {}
+        k1 = compile_kernel(FLAT_HALO)
+        GroverPass(strict_patterns=False).run(k1)
+        ok["derived"] = not k1.local_arrays
+        k2 = compile_kernel(FLAT_HALO)
+        try:
+            GroverPass(strict_patterns=True).run(k2)
+            ok["strict"] = not k2.local_arrays
+        except NotReversible:
+            ok["strict"] = False
+        return ok
+
+    ok = benchmark(both_modes)
+    print(f"\nflat halo kernel reversible: {ok}")
+    assert ok["derived"], "the derived pattern must handle halo offsets"
+    assert not ok["strict"], "the plain pattern alone cannot"
+
+
+@pytest.mark.paper
+def test_plain_pattern_still_works_in_strict_mode(benchmark):
+    def strict_ok():
+        k = compile_kernel(FLAT_PLAIN)
+        GroverPass(strict_patterns=True).run(k)
+        return not k.local_arrays
+
+    assert benchmark(strict_ok)
+
+
+@pytest.mark.paper
+def test_app_coverage_with_and_without_derived_pattern(benchmark):
+    """How many of the 11 applications stay reversible in strict mode?"""
+    from repro.apps.harness import compile_app
+    from repro.apps.registry import TABLE_ORDER, get_app
+    from repro.core import GroverError
+
+    def coverage(strict):
+        ok = 0
+        for app_id in TABLE_ORDER:
+            app = get_app(app_id)
+            try:
+                _, report = compile_app(app, "without", strict_patterns=strict)
+                ok += bool(report.transformed) and not report.rejected
+            except GroverError:
+                pass
+        return ok
+
+    full = coverage(False)
+    strict = benchmark(lambda: coverage(True))
+    print(f"\nreversible apps: derived={full}/11, strict={strict}/11")
+    assert full == 11
+    assert strict <= full

@@ -1,0 +1,76 @@
+"""Extension — Grover's impact on GPUs (the paper's first future-work item).
+
+"In the near future, we will further investigate Grover's impact on
+other types of devices (e.g., GPUs)."  The traces already exist for the
+CPU evaluation, so the GPU models can score the full 11-application
+matrix as well.  Expected physics: the kernels that use local memory for
+*coalescing* (the transposes) must lose badly on GPUs when it is
+removed; kernels whose staging only exploits *reuse* (string search,
+nbody) should be closer to neutral because the GPU caches can serve
+broadcast reuse.
+"""
+
+import pytest
+
+from repro.apps.registry import TABLE_ORDER
+from repro.experiments import app_trace
+from repro.perf import GPUModel
+from repro.perf.devices import GPU_DEVICES
+from repro.reporting import normalized_perf_table
+
+from conftest import SCALE
+
+
+@pytest.fixture(scope="module")
+def gpu_matrix():
+    out = {}
+    for dev_name, spec in GPU_DEVICES.items():
+        model = GPUModel(spec)
+        vals = {}
+        for app_id in TABLE_ORDER:
+            c_with = model.time_kernel(app_trace(app_id, "with", SCALE))
+            c_without = model.time_kernel(app_trace(app_id, "without", SCALE))
+            vals[app_id] = c_with / c_without
+        out[dev_name] = vals
+    return out
+
+
+@pytest.mark.paper
+def test_gpu_matrix(benchmark, gpu_matrix):
+    values = benchmark(lambda: gpu_matrix)
+    print("\n" + normalized_perf_table(values, TABLE_ORDER))
+
+
+@pytest.mark.paper
+def test_transposes_lose_on_every_gpu(benchmark, gpu_matrix):
+    benchmark(lambda: None)
+    for dev, vals in gpu_matrix.items():
+        assert vals["NVD-MT"] < 0.95, f"NVD-MT must lose on {dev}"
+
+
+@pytest.mark.paper
+def test_gpus_prefer_local_memory_more_than_cpus(benchmark, gpu_matrix):
+    """Across the suite, the average normalised performance of removal is
+    lower on GPUs than on SNB — the cross-platform asymmetry that
+    motivates the paper."""
+    from repro.experiments import figure10
+
+    benchmark(lambda: None)
+    snb = figure10("SNB", scale=SCALE).values
+    snb_mean = sum(snb.values()) / len(snb)
+    for dev, vals in gpu_matrix.items():
+        gpu_mean = sum(vals.values()) / len(vals)
+        assert gpu_mean < snb_mean + 0.05, (
+            f"{dev} should benefit from local memory at least as much as SNB"
+        )
+
+
+@pytest.mark.paper
+def test_reuse_only_kernels_are_milder_than_coalescing_kernels(benchmark, gpu_matrix):
+    """Staging for reuse (AMD-SS, NVD-NBody: broadcast access the caches
+    can serve) costs less to remove than staging for coalescing
+    (NVD-MT's layout change)."""
+    benchmark(lambda: None)
+    for dev, vals in gpu_matrix.items():
+        assert vals["AMD-SS"] > vals["NVD-MT"], dev
+        assert vals["NVD-NBody"] > vals["NVD-MT"], dev

@@ -1,0 +1,96 @@
+"""Figure 10 — normalised performance per benchmark on SNB/Nehalem/MIC.
+
+Asserts the per-case shapes the paper's Section VI-C narrates.  Absolute
+factors are model estimates; EXPERIMENTS.md records paper-vs-measured
+per case, including the known deviations (NVD-MM-A magnitude,
+NVD-MM-AB sign on SNB, ROD-SC spread).
+"""
+
+import pytest
+
+from repro.apps.registry import TABLE_ORDER
+from repro.experiments import figure10
+from repro.reporting import normalized_perf_table
+
+from conftest import SCALE
+
+
+@pytest.fixture(scope="module")
+def series():
+    return {dev: figure10(dev, scale=SCALE) for dev in ("SNB", "Nehalem", "MIC")}
+
+
+@pytest.mark.paper
+def test_fig10_table(benchmark, series):
+    values = benchmark(lambda: {d: figure10(d, scale=SCALE).values for d in series})
+    print("\n" + normalized_perf_table(values, TABLE_ORDER))
+
+
+@pytest.mark.paper
+def test_fig10a_snb_shapes(benchmark, series):
+    benchmark(lambda: series['SNB'].classify_all())
+    snb = series["SNB"].values
+    # paper §VI-C: "we observe speedups of 1.67x ... for NVD-MT"
+    assert snb["NVD-MT"] > 1.3, "NVD-MT must be the big SNB winner"
+    # "speedups ... 1.12x (AMD-RG) ... 1.16x (PAB-ST)"
+    assert snb["AMD-RG"] > 1.05
+    assert snb["PAB-ST"] > 1.1
+    # "the kernel performance drops by 44% for AMD-MM" — our model shows a
+    # clear loss, and the ordering vs NVD-MM-B (-19%) matches the paper
+    assert snb["AMD-MM"] < 0.85, "AMD-MM must lose on SNB"
+    assert snb["AMD-MM"] < snb["NVD-MM-B"], "AMD-MM loses more than NVD-MM-B"
+    # "19% for NVD-MM-B"
+    assert 0.7 < snb["NVD-MM-B"] < 0.95
+    # "For AMD-SS, AMD-MT ... the performance is only marginally affected"
+    assert 0.9 < snb["AMD-SS"] < 1.1
+    assert 0.9 < snb["AMD-MT"] < 1.1
+    # NBody keeps its tiled skeleton; effect stays within a few percent
+    assert 0.9 < snb["NVD-NBody"] < 1.1
+
+
+@pytest.mark.paper
+def test_fig10b_nehalem_tracks_snb(benchmark, series):
+    benchmark(lambda: series['Nehalem'].classify_all())
+    """Paper: "Nehalem and SNB show similar performance trends ... with
+    the exception of the number for NVD-MM-AB"."""
+    snb = series["SNB"].values
+    neh = series["Nehalem"].values
+    agree = 0
+    for app in TABLE_ORDER:
+        s = "gain" if snb[app] > 1.05 else ("loss" if snb[app] < 0.95 else "similar")
+        n = "gain" if neh[app] > 1.05 else ("loss" if neh[app] < 0.95 else "similar")
+        agree += s == n
+    assert agree >= 9, f"SNB/Nehalem should agree on most apps (got {agree}/11)"
+    assert neh["NVD-MT"] > 1.3, "paper: ~1.6x for NVD-MT on Nehalem"
+
+
+@pytest.mark.paper
+def test_fig10c_mic_is_flat(benchmark, series):
+    benchmark(lambda: series['MIC'].classify_all())
+    """Paper: "MIC behaves significantly different: most applications
+    have similar performance with and without using local memory; only
+    minor differences can be observed for NVD-MM-A/B/AB" (the MM family
+    is where MIC's losses concentrate)."""
+    mic = series["MIC"].values
+    snb = series["SNB"].values
+
+    flat = [a for a in TABLE_ORDER if 0.85 <= mic[a] <= 1.15]
+    assert len(flat) >= 7, f"MIC should be mostly flat, got {sorted(flat)}"
+
+    # the spread of effects is narrower on MIC than on SNB
+    def spread(vals):
+        inner = [vals[a] for a in TABLE_ORDER if a not in ("AMD-MM", "NVD-MM-AB")]
+        return max(inner) - min(inner)
+
+    assert spread(mic) < spread(snb)
+
+
+@pytest.mark.paper
+def test_fig10_losses_match_paper_cases(benchmark, series):
+    benchmark(lambda: None)
+    """The column-major-layout cases lose on every CPU once local memory
+    is removed — the paper's central counter-example to 'local memory is
+    useless on CPUs'."""
+    for dev, s in series.items():
+        assert s.values["AMD-MM"] < 0.95, f"AMD-MM must lose on {dev}"
+        assert s.values["NVD-MM-B"] < 0.95, f"NVD-MM-B must lose on {dev}"

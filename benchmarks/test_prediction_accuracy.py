@@ -1,0 +1,84 @@
+"""Extension — static predictor vs the trace-driven model.
+
+The paper's stated future work: "using Grover, we want to model the
+performance benefits/losses due to local memory usage on CPUs".  This
+benchmark evaluates our static predictor against the trace-driven
+models over all 11 applications x 3 CPU platforms, reporting the
+agreement matrix.
+"""
+
+import pytest
+
+from repro.apps.registry import TABLE_ORDER, get_app
+from repro.experiments import normalized_perf
+from repro.perf.devices import CPU_DEVICES
+from repro.perf.timing import classify
+from repro.predict import predict
+from repro.reporting import ascii_table
+
+from conftest import SCALE
+
+
+def _arg_values(app):
+    problem = app.make_problem(SCALE)
+    return {k: v for k, v in problem.inputs.items() if isinstance(v, int)}
+
+
+@pytest.fixture(scope="module")
+def verdict_pairs():
+    pairs = {}
+    for app_id in TABLE_ORDER:
+        app = get_app(app_id)
+        for dev_name, spec in CPU_DEVICES.items():
+            measured = classify(normalized_perf(app_id, dev_name, SCALE))
+            predicted = predict(
+                app.source,
+                spec,
+                kernel_name=app.kernel_name,
+                defines=app.defines,
+                arrays=app.arrays,
+                arg_values=_arg_values(app),
+            ).verdict
+            pairs[(app_id, dev_name)] = (predicted, measured)
+    return pairs
+
+
+@pytest.mark.paper
+def test_predictor_agreement(benchmark, verdict_pairs):
+    def tally():
+        exact = loose = 0
+        for predicted, measured in verdict_pairs.values():
+            exact += predicted == measured
+            # 'loose' = never predicts the opposite sign
+            loose += not (
+                (predicted, measured) in (("gain", "loss"), ("loss", "gain"))
+            )
+        return exact, loose
+
+    exact, loose = benchmark(tally)
+    n = len(verdict_pairs)
+
+    rows = [
+        [app, dev, p, m, "OK" if p == m else ("~" if "similar" in (p, m) else "X")]
+        for (app, dev), (p, m) in sorted(verdict_pairs.items())
+    ]
+    print("\n" + ascii_table(
+        ["app", "device", "predicted", "measured", ""],
+        rows,
+        title="static predictor vs trace-driven model",
+    ))
+    print(f"exact agreement: {exact}/{n}, sign-safe: {loose}/{n}")
+
+    # the predictor must be sign-safe (never calls a loss a gain) on at
+    # least 90% of cases and exactly right on a solid majority
+    assert loose >= int(0.9 * n)
+    assert exact >= n // 2
+
+
+@pytest.mark.paper
+def test_predictor_catches_the_flagship_cases(benchmark, verdict_pairs):
+    benchmark(lambda: None)
+    # the two behaviours the paper leads with:
+    assert verdict_pairs[("NVD-MT", "SNB")][0] == "gain"
+    assert verdict_pairs[("NVD-MM-B", "SNB")][0] == "loss"
+    assert verdict_pairs[("AMD-MM", "SNB")][0] == "loss"

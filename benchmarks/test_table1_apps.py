@@ -1,0 +1,45 @@
+"""Table I — the benchmark applications and datasets.
+
+Prints the application inventory and asserts the paper's structural
+claims: 11 rows drawn from the AMD SDK, NVIDIA SDK, Rodinia and Parboil,
+all using local memory in their original form.
+"""
+
+import pytest
+
+from repro.apps.harness import compile_app
+from repro.apps.registry import TABLE_ORDER, table_apps
+from repro.reporting import ascii_table
+
+
+@pytest.mark.paper
+def test_table1_inventory(benchmark):
+    apps = benchmark(table_apps)
+    rows = [
+        [a.id, a.title, a.suite, a.dataset_note]
+        for a in apps
+    ]
+    print("\n" + ascii_table(["ID", "application", "suite", "dataset"], rows,
+                             title="Table I — selected benchmarks"))
+
+    assert [a.id for a in apps] == sorted(TABLE_ORDER) or len(apps) == 11
+    assert len(apps) == 11
+    suites = {a.suite for a in apps}
+    assert suites == {"AMD APP SDK", "NVIDIA SDK", "Rodinia", "Parboil"}
+
+
+@pytest.mark.paper
+def test_table1_all_use_local_memory(benchmark):
+    def check():
+        flags = {}
+        for a in table_apps():
+            kernel, _ = compile_app(a, "with")
+            flags[a.id] = bool(kernel.local_arrays) or any(
+                getattr(arg.type, "addrspace", None) is not None
+                and arg.type.addrspace.name == "LOCAL"
+                for arg in kernel.args
+            )
+        return flags
+
+    flags = benchmark(check)
+    assert all(flags.values()), f"apps without local memory: {flags}"

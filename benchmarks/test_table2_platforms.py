@@ -1,0 +1,47 @@
+"""Table II — the experimental platforms.
+
+Prints the device models standing in for the paper's hardware and
+asserts the architectural properties the evaluation narrative relies on.
+"""
+
+import pytest
+
+from repro.perf.devices import CPU_DEVICES, GPU_DEVICES, MIC, NEHALEM, SNB
+from repro.reporting import ascii_table
+
+
+@pytest.mark.paper
+def test_table2_platforms(benchmark):
+    def build():
+        rows = []
+        for d in CPU_DEVICES.values():
+            llc = "distributed" if d.l3 is None else f"{d.l3[0]/1024:.0f} MB shared"
+            rows.append(
+                [d.name, "CPU", d.cores, f"{d.l1[0]:.0f}K", f"{d.l2[0]:.0f}K", llc]
+            )
+        for d in GPU_DEVICES.values():
+            rows.append(
+                [
+                    d.name,
+                    "GPU",
+                    d.compute_units,
+                    f"L1 {'on' if d.global_l1 else 'off'}",
+                    f"{d.l2_kb:.0f}K L2",
+                    f"warp {d.warp_size}",
+                ]
+            )
+        return rows
+
+    rows = benchmark(build)
+    print("\n" + ascii_table(
+        ["device", "kind", "cores/CUs", "L1", "L2", "LLC / notes"],
+        rows,
+        title="Table II — platform models",
+    ))
+
+    # architectural facts the analysis (Section VI-C) relies on:
+    assert MIC.l3 is None, "MIC has a distributed last-level cache"
+    assert SNB.l3 is not None and NEHALEM.l3 is not None
+    assert MIC.l2[0] > SNB.l2[0], "per-core L2 is larger on MIC"
+    assert MIC.ipc < SNB.ipc, "KNC cores are in-order / low-ILP"
+    assert len(CPU_DEVICES) == 3 and len(GPU_DEVICES) == 3

@@ -1,0 +1,85 @@
+"""Auto-tuning matrix multiplication across platforms (paper Section I).
+
+The paper's pitch: the performance effect of local memory is
+unpredictable, so generate both kernel versions with Grover, measure,
+and keep the winner *per platform*.  This example tunes the
+NVIDIA-SDK-style tiled matmul on the three cache-only platforms of the
+evaluation (SNB, Nehalem, MIC) and one GPU (Fermi), showing that the
+best version genuinely differs across devices.
+
+Run:  python examples/autotune_matmul.py
+"""
+
+import numpy as np
+
+from repro.autotune import autotune
+from repro.reporting import ascii_table
+
+KERNEL = r"""
+#define BS 16
+__kernel void matrixMul(__global float* C, __global float* A,
+                        __global float* B, int wA, int wB)
+{
+    __local float As[BS*BS];
+    __local float Bs[BS*BS];
+    int tx = get_local_id(0);
+    int ty = get_local_id(1);
+    float acc = 0.0f;
+    for (int t = 0; t < wA / BS; ++t) {
+        As[ty*BS + tx] = A[(get_group_id(1)*BS + ty)*wA + (t*BS + tx)];
+        Bs[ty*BS + tx] = B[(t*BS + ty)*wB + (get_group_id(0)*BS + tx)];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int k = 0; k < BS; ++k)
+            acc += As[ty*BS + k] * Bs[k*BS + tx];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    C[get_global_id(1)*wB + get_global_id(0)] = acc;
+}
+"""
+
+
+def main():
+    m, k, n = 32, 128, 512
+    rng = np.random.default_rng(5)
+    inputs = {
+        "A": rng.random((m, k), dtype=np.float32),
+        "B": rng.random((k, n), dtype=np.float32),
+        "C": np.zeros((m, n), dtype=np.float32),
+        "wA": k,
+        "wB": n,
+    }
+
+    rows = []
+    for device in ("SNB", "Nehalem", "MIC", "Fermi"):
+        # tune the removal of the A tile only (the paper's NVD-MM-A case)
+        result = autotune(
+            KERNEL,
+            device,
+            global_size=(n, m),
+            local_size=(16, 16),
+            inputs=inputs,
+            arrays=["As"],
+        )
+        rows.append(
+            [
+                device,
+                result.best,
+                f"{result.normalized_perf:.3f}",
+                f"{result.cycles_with:,.0f}",
+                f"{result.cycles_without:,.0f}",
+            ]
+        )
+
+    print(
+        ascii_table(
+            ["device", "best version", "np (no-local/with-local)",
+             "cycles with", "cycles without"],
+            rows,
+            title="auto-tuning NVD-MM-A: remove matrix A's local tile?",
+        )
+    )
+    print("\nnp > 1 means the Grover-transformed (no local memory) kernel wins.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Regenerate the paper's headline results at a reduced scale.
+
+Produces ASCII renderings of:
+
+* Fig. 2  — normalised performance of MT and MM on all six platforms,
+* Fig. 10 — per-benchmark normalised performance on SNB/Nehalem/MIC,
+* Table IV — the gain/loss/similar distribution over the 33 test cases.
+
+This uses the 'small' problem scale so it finishes in well under a
+minute; the benchmarks/ directory runs the full 'bench' scale.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.apps.registry import TABLE_ORDER
+from repro.experiments import figure2, figure10, table4
+from repro.reporting import ascii_table, bar_series, normalized_perf_table
+
+SCALE = "small"
+
+
+def main():
+    print("=" * 64)
+    print("Figure 2 — motivation: removing local memory on 6 platforms")
+    print("=" * 64)
+    f2 = figure2(scale=SCALE)
+    for app, values in f2.items():
+        print(f"\n{app}:")
+        print(bar_series(values))
+
+    print()
+    print("=" * 64)
+    print("Figure 10 — normalised performance per benchmark (3 CPUs)")
+    print("=" * 64)
+    per_device = {}
+    for dev in ("SNB", "Nehalem", "MIC"):
+        per_device[dev] = figure10(dev, scale=SCALE).values
+    print(normalized_perf_table(per_device, TABLE_ORDER))
+
+    print()
+    print("=" * 64)
+    print("Table IV — gain/loss distribution (5% similarity threshold)")
+    print("=" * 64)
+    t4 = table4(scale=SCALE)
+    rows = [
+        [verdict] + [t4.per_device[d][verdict] for d in t4.per_device]
+        + [f"{t4.totals[verdict]} ({100 * t4.totals[verdict] / t4.cases:.0f}%)"]
+        for verdict in ("gain", "loss", "similar")
+    ]
+    print(ascii_table(["", *t4.per_device, "total"], rows))
+    print(f"\n{t4.cases} test cases (11 applications x 3 platforms)")
+    print("paper reports: gain 12 (36%), loss 9 (27%), similar 12 (36%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Extensions: static prediction + per-platform specialisation.
+
+Implements both items of the paper's future-work list:
+
+1. *"model the performance benefits/losses due to local memory usage on
+   CPUs"* — the static predictor explains, without executing, why
+   removing a staged tile will win or lose (staging overhead removed vs
+   cache-set conflicts of the replacement access);
+2. *"incorporate Grover into a high-level auto-tuning framework ...
+   code specialization automated for different classes of platforms"* —
+   the subset tuner enumerates every combination of removable local
+   arrays and picks the best per device.
+
+Run:  python examples/predict_and_specialize.py
+"""
+
+import numpy as np
+
+from repro.autotune import specialize_per_platform
+from repro.perf.devices import MIC, NEHALEM, SNB
+from repro.predict import predict
+
+MM = r"""
+#define BS 16
+__kernel void matrixMul(__global float* C, __global float* A,
+                        __global float* B, int wA, int wB)
+{
+    __local float As[BS*BS];
+    __local float Bs[BS*BS];
+    int tx = get_local_id(0);
+    int ty = get_local_id(1);
+    float acc = 0.0f;
+    for (int t = 0; t < wA / BS; ++t) {
+        As[ty*BS + tx] = A[(get_group_id(1)*BS + ty)*wA + (t*BS + tx)];
+        Bs[ty*BS + tx] = B[(t*BS + ty)*wB + (get_group_id(0)*BS + tx)];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int k = 0; k < BS; ++k)
+            acc += As[ty*BS + k] * Bs[k*BS + tx];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    C[get_global_id(1)*wB + get_global_id(0)] = acc;
+}
+"""
+
+
+def main():
+    m, k, n = 32, 256, 1024  # power-of-two row stride: the pathological case
+
+    print("=== static prediction (no execution) ===")
+    for arrays, label in ((["As"], "remove As"), (["Bs"], "remove Bs"), (None, "remove both")):
+        p = predict(
+            MM, SNB, arrays=arrays, arg_values={"wA": k, "wB": n}
+        )
+        print(f"\n{label}:")
+        print(p)
+
+    print("\n=== per-platform specialisation (measured on the models) ===")
+    rng = np.random.default_rng(1)
+    inputs = {
+        "A": rng.random((m, k), dtype=np.float32),
+        "B": rng.random((k, n), dtype=np.float32),
+        "C": np.zeros((m, n), dtype=np.float32),
+        "wA": k,
+        "wB": n,
+    }
+    results = specialize_per_platform(
+        MM, ["SNB", "Nehalem", "MIC", "Fermi"], (n, m), (16, 16), inputs
+    )
+    for dev, res in results.items():
+        print()
+        print(res.render())
+
+    print("\nbest specialisation per platform:")
+    for dev, res in results.items():
+        print(f"  {dev:8s} -> remove {res.best.label} ({res.best.speedup:.3f}x)")
+
+
+if __name__ == "__main__":
+    main()

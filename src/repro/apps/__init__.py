@@ -1,0 +1,16 @@
+"""The 11 benchmark applications of the paper's Table I.
+
+Every application provides: its OpenCL C kernel source (re-implemented
+from the documented SDK/suite kernels, all using local memory as a
+software cache), launch geometry, dataset generators at two scales
+(``test`` for exact correctness checks, ``bench`` for the performance
+experiments), and a numpy reference implementation.
+
+The three NVD-MM rows of the paper's Table III (removing the A tile, the
+B tile, or both) are registry variants of one application.
+"""
+
+from repro.apps.harness import AppRun, run_app, validate_app
+from repro.apps.registry import APPS, App, Problem, get_app
+
+__all__ = ["APPS", "App", "Problem", "get_app", "AppRun", "run_app", "validate_app"]

@@ -1,0 +1,80 @@
+"""AMD-MM — MatrixMultiplication from the AMD APP SDK.
+
+The AMD kernel is ``float4``-vectorised: each work-item produces a
+1x4 sliver of C, staging the B tile in local memory as ``float4`` rows.
+Removing the tile turns the inner loop's B access into a column of
+vector loads with a power-of-two stride — the paper reports a 44%
+slowdown on SNB for this case ("it exploits vector data types, which
+changes the memory access pattern to be column-major").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.registry import App, Problem, register
+
+BS = 16
+
+SOURCE = r"""
+#define BS 16
+__kernel void mmmKernel(__global float* C, __global const float* A,
+                        __global const float* B, int K, int N4)
+{
+    /* C: M x N floats (N = 4*N4); each work-item computes C[gy, 4*gx..] */
+    __local float4 Bs[BS][BS];
+    int tx = get_local_id(0);
+    int ty = get_local_id(1);
+    int wx = get_group_id(0);
+    int gy = get_global_id(1);
+    float4 acc = make_float4(0.0f, 0.0f, 0.0f, 0.0f);
+    for (int t = 0; t < K / BS; ++t) {
+        /* stage B rows t*BS .. t*BS+BS, vector columns wx*BS.. */
+        Bs[ty][tx] = vload4((t*BS + ty)*N4 + (wx*BS + tx), B);
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int k = 0; k < BS; ++k) {
+            float a = A[gy*K + (t*BS + k)];
+            acc = acc + a * Bs[k][tx];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    vstore4(acc, gy*N4 + get_global_id(0), C);
+}
+"""
+
+#: (M, K, N) with N divisible by 4*BS
+_SIZES = {
+    "test": (32, 48, 64),
+    "small": (32, 128, 256),
+    "bench": (32, 256, 1024),
+}
+
+
+def make_problem(scale: str) -> Problem:
+    m, k, n = _SIZES[scale]
+    rng = np.random.default_rng(17)
+    a = rng.random((m, k), dtype=np.float32) - 0.5
+    b = rng.random((k, n), dtype=np.float32) - 0.5
+    c = (a @ b).astype(np.float32)
+    return Problem(
+        global_size=(n // 4, m),
+        local_size=(BS, BS),
+        inputs={"A": a, "B": b, "K": k, "N4": n // 4},
+        expected={"C": c},
+        atol=1e-3,
+        rtol=1e-3,
+    )
+
+
+APP = register(
+    App(
+        id="AMD-MM",
+        title="MatrixMultiplication (float4)",
+        suite="AMD APP SDK",
+        source=SOURCE,
+        kernel_name="mmmKernel",
+        arrays=None,
+        make_problem=make_problem,
+        dataset_note="vectorised MM, B tile in local memory",
+    )
+)

@@ -1,0 +1,82 @@
+"""AMD-RG — RecursiveGaussian-style row filter from the AMD APP SDK.
+
+A work-group stages one block of an image row (plus a halo of radius R
+on both sides) in local memory, then every work-item reads 2R+1 taps
+from the staged block.  The halo loads create *multiple* (GL, LS) pairs
+for the same local array — the multi-pass staging case of Section IV-A;
+Grover picks the main (dominating) pair, and any pair yields the same
+correspondence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.registry import App, Problem, register
+
+S = 64      # work-group size (block of output pixels per group)
+R = 4       # filter radius
+
+SOURCE = r"""
+#define S 64
+#define R 4
+__kernel void rowFilter(__global float* out, __global const float* in,
+                        __global const float* weights, int Wp, int W)
+{
+    /* `in` rows are padded with R pixels on both sides: Wp = W + 2R. */
+    __local float lm[S + 2*R];
+    int lx = get_local_id(0);
+    int wx = get_group_id(0);
+    /* the work-group is (S, 1): the row equals the y group index */
+    int row = get_group_id(1);
+    int base = row*Wp + wx*S + lx;
+    lm[lx + R] = in[base + R];
+    if (lx < R)
+        lm[lx] = in[base];
+    if (lx >= S - R)
+        lm[lx + 2*R] = in[base + 2*R];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float acc = 0.0f;
+    for (int k = 0; k < 2*R + 1; ++k)
+        acc += weights[k] * lm[lx + k];
+    out[row*W + wx*S + lx] = acc;
+}
+"""
+
+#: (H, W) of the image; W divisible by S
+_SIZES = {"test": (8, 128), "small": (32, 256), "bench": (64, 1024)}
+
+
+def make_problem(scale: str) -> Problem:
+    h, w = _SIZES[scale]
+    rng = np.random.default_rng(23)
+    img = rng.random((h, w), dtype=np.float32)
+    weights = np.exp(-0.5 * (np.arange(-R, R + 1) / 2.0) ** 2).astype(np.float32)
+    weights /= weights.sum()
+    padded = np.zeros((h, w + 2 * R), dtype=np.float32)
+    padded[:, R : R + w] = img
+    expected = np.zeros_like(img)
+    for k in range(2 * R + 1):
+        expected += weights[k] * padded[:, k : k + w]
+    return Problem(
+        global_size=(w, h),
+        local_size=(S, 1),
+        inputs={"in": padded, "weights": weights, "Wp": w + 2 * R, "W": w},
+        expected={"out": expected.astype(np.float32)},
+        atol=1e-4,
+        rtol=1e-3,
+    )
+
+
+APP = register(
+    App(
+        id="AMD-RG",
+        title="RecursiveGaussian (row filter)",
+        suite="AMD APP SDK",
+        source=SOURCE,
+        kernel_name="rowFilter",
+        arrays=None,
+        make_problem=make_problem,
+        dataset_note="radius-4 Gaussian row filter with halo staging",
+    )
+)

@@ -1,0 +1,71 @@
+"""AMD-SS — StringSearch from the AMD APP SDK.
+
+The pattern string is staged into local memory once per work-group and
+then read by *every* work-item while scanning its text position.  All
+work-items share the same data block, so the global-load index has no
+work-group component — the Table III row with group index ``(0,0,0)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.registry import App, Problem, register
+
+GROUP = 64
+PATTERN_LEN = 64
+
+SOURCE = r"""
+#define M 64
+__kernel void stringSearch(__global uint* match, __global const uchar* text,
+                           __global const uchar* pattern, int n)
+{
+    __local uchar lp[M];
+    int li = get_local_id(0);
+    int gid = get_global_id(0);
+    lp[li] = pattern[li];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    uint ok = 1;
+    for (int j = 0; j < M; ++j) {
+        uchar c = lp[j];
+        if (text[gid + j] != c)
+            ok = 0;
+    }
+    match[gid] = ok;
+}
+"""
+
+#: number of searchable positions
+_SIZES = {"test": 1024, "small": 8192, "bench": 65536}
+
+
+def make_problem(scale: str) -> Problem:
+    n = _SIZES[scale]
+    rng = np.random.default_rng(19)
+    text = rng.integers(ord("a"), ord("e"), size=n + PATTERN_LEN, dtype=np.uint8)
+    pattern = rng.integers(ord("a"), ord("e"), size=PATTERN_LEN, dtype=np.uint8)
+    # plant a handful of guaranteed matches
+    for pos in range(0, n, max(1, n // 7)):
+        text[pos : pos + PATTERN_LEN] = pattern
+    windows = np.lib.stride_tricks.sliding_window_view(text, PATTERN_LEN)[:n]
+    expected = (windows == pattern).all(axis=1).astype(np.uint32)
+    return Problem(
+        global_size=(n,),
+        local_size=(GROUP,),
+        inputs={"text": text, "pattern": pattern, "n": n},
+        expected={"match": expected},
+    )
+
+
+APP = register(
+    App(
+        id="AMD-SS",
+        title="StringSearch",
+        suite="AMD APP SDK",
+        source=SOURCE,
+        kernel_name="stringSearch",
+        arrays=None,
+        make_problem=make_problem,
+        dataset_note="64-byte pattern over 64K text positions",
+    )
+)

@@ -1,0 +1,93 @@
+"""EXT-ST3D — 3-D 7-point stencil (extension, not a paper Table I row).
+
+Exercises the full 3-D paths of the system: a 3-D NDRange, a 3-D local
+tile with halos in every dimension, ``get_local_id(2)`` symbols, and
+3x3 linear systems per local load.  The Parboil suite's full stencil is
+3-D; the paper's PAB-ST row is covered by the 2-D plane kernel, and this
+app extends it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.registry import App, Problem, register
+
+S = 4  # tile edge (4x4x4 work-groups keep interpretation fast)
+
+SOURCE = r"""
+#define S 4
+__kernel void stencil7(__global float* out, __global const float* in,
+                       int Wp, int Hp, float c0, float c1)
+{
+    /* `in` is padded by 1 on every face: Wp = W + 2, Hp = H + 2 */
+    __local float lm[S + 2][S + 2][S + 2];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int lz = get_local_id(2);
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    int gz = get_global_id(2);
+    int base = ((gz + 1)*Hp + (gy + 1))*Wp + (gx + 1);
+    lm[lz + 1][ly + 1][lx + 1] = in[base];
+    if (lx == 0)     lm[lz + 1][ly + 1][0]     = in[base - 1];
+    if (lx == S - 1) lm[lz + 1][ly + 1][S + 1] = in[base + 1];
+    if (ly == 0)     lm[lz + 1][0][lx + 1]     = in[base - Wp];
+    if (ly == S - 1) lm[lz + 1][S + 1][lx + 1] = in[base + Wp];
+    if (lz == 0)     lm[0][ly + 1][lx + 1]     = in[base - Wp*Hp];
+    if (lz == S - 1) lm[S + 1][ly + 1][lx + 1] = in[base + Wp*Hp];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float v = c0 * lm[lz + 1][ly + 1][lx + 1]
+            + c1 * (lm[lz + 1][ly + 1][lx] + lm[lz + 1][ly + 1][lx + 2]
+                    + lm[lz + 1][ly][lx + 1] + lm[lz + 1][ly + 2][lx + 1]
+                    + lm[lz][ly + 1][lx + 1] + lm[lz + 2][ly + 1][lx + 1]);
+    int W = Wp - 2;
+    int H = Hp - 2;
+    out[(gz*H + gy)*W + gx] = v;
+}
+"""
+
+_SIZES = {"test": (8, 8, 8), "small": (16, 16, 16), "bench": (16, 32, 64)}
+
+C0, C1 = np.float32(0.4), np.float32(0.1)
+
+
+def make_problem(scale: str) -> Problem:
+    d, h, w = _SIZES[scale]
+    rng = np.random.default_rng(41)
+    grid = rng.random((d + 2, h + 2, w + 2), dtype=np.float32)
+    inner = grid[1:-1, 1:-1, 1:-1]
+    expected = (
+        C0 * inner
+        + C1
+        * (
+            grid[1:-1, 1:-1, :-2]
+            + grid[1:-1, 1:-1, 2:]
+            + grid[1:-1, :-2, 1:-1]
+            + grid[1:-1, 2:, 1:-1]
+            + grid[:-2, 1:-1, 1:-1]
+            + grid[2:, 1:-1, 1:-1]
+        )
+    ).astype(np.float32)
+    return Problem(
+        global_size=(w, h, d),
+        local_size=(S, S, S),
+        inputs={"in": grid, "Wp": w + 2, "Hp": h + 2, "c0": float(C0), "c1": float(C1)},
+        expected={"out": expected},
+        atol=1e-4,
+        rtol=1e-3,
+    )
+
+
+APP = register(
+    App(
+        id="EXT-ST3D",
+        title="stencil3d (extension)",
+        suite="Parboil",
+        source=SOURCE,
+        kernel_name="stencil7",
+        arrays=None,
+        make_problem=make_problem,
+        dataset_note="7-point 3-D stencil, (S+2)^3 tile in local memory",
+    )
+)

@@ -1,0 +1,90 @@
+"""NVD-MM — oclMatrixMul from the NVIDIA SDK.
+
+The SDK kernel stages one 16x16 tile of matrix A and one of matrix B in
+flat local arrays (``AS(i,j) = As[i*16+j]`` in the original macro form —
+this is the kernel that exercises the paper's ``+ -> *`` flattened-index
+pattern of Fig. 7).
+
+The paper's Table III removes the tiles selectively, giving the three
+test cases NVD-MM-A (remove the A tile), NVD-MM-B (remove the B tile),
+and NVD-MM-AB (remove both).  Removing A is cheap on CPUs (row access,
+cache-friendly) while removing B hurts (column access whose power-of-two
+stride conflicts in the set-indexed caches).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.registry import App, Problem, register
+
+BS = 16
+
+SOURCE = r"""
+#define BS 16
+__kernel void matrixMul(__global float* C, __global float* A,
+                        __global float* B, int wA, int wB)
+{
+    __local float As[BS*BS];
+    __local float Bs[BS*BS];
+    int bx = get_group_id(0);
+    int by = get_group_id(1);
+    int tx = get_local_id(0);
+    int ty = get_local_id(1);
+    float acc = 0.0f;
+    for (int t = 0; t < wA / BS; ++t) {
+        As[ty*BS + tx] = A[(by*BS + ty)*wA + (t*BS + tx)];
+        Bs[ty*BS + tx] = B[(t*BS + ty)*wB + (bx*BS + tx)];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int k = 0; k < BS; ++k)
+            acc += As[ty*BS + k] * Bs[k*BS + tx];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    C[get_global_id(1)*wB + get_global_id(0)] = acc;
+}
+"""
+
+#: (M, K, N): C is MxN, A is MxK, B is KxN.  The bench shape keeps the
+#: paper-typical power-of-two row stride (N=1024) that makes column
+#: access conflict-prone, while M stays small so interpretation is fast.
+_SIZES = {
+    "test": (32, 48, 32),
+    "small": (32, 128, 256),
+    "bench": (32, 256, 1024),
+}
+
+
+def make_problem(scale: str) -> Problem:
+    m, k, n = _SIZES[scale]
+    rng = np.random.default_rng(11)
+    a = rng.random((m, k), dtype=np.float32) - 0.5
+    b = rng.random((k, n), dtype=np.float32) - 0.5
+    c = (a @ b).astype(np.float32)
+    return Problem(
+        global_size=(n, m),
+        local_size=(BS, BS),
+        inputs={"A": a, "B": b, "wA": k, "wB": n},
+        expected={"C": c},
+        atol=1e-3,
+        rtol=1e-3,
+    )
+
+
+def _mk(app_id: str, arrays, note: str) -> App:
+    return register(
+        App(
+            id=app_id,
+            title="oclMatrixMul",
+            suite="NVIDIA SDK",
+            source=SOURCE,
+            kernel_name="matrixMul",
+            arrays=arrays,
+            make_problem=make_problem,
+            dataset_note=note,
+        )
+    )
+
+
+APP_A = _mk("NVD-MM-A", ["As"], "remove local tile of matrix A")
+APP_B = _mk("NVD-MM-B", ["Bs"], "remove local tile of matrix B")
+APP_AB = _mk("NVD-MM-AB", None, "remove both local tiles")

@@ -1,0 +1,82 @@
+"""PAB-ST — the Parboil stencil benchmark (5-point Jacobi step).
+
+A 2-D tile plus halo is staged in local memory; each work-item then
+reads its 4 neighbours and centre from the tile.  Each local load has a
+*different* constant offset, so Grover solves one linear system per LL
+(five systems here) — the richest per-kernel exercise of Equation 3.
+On CPUs the neighbour reuse is served by the caches anyway, so the
+paper measures a gain from removing the tile (1.16x on SNB).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.registry import App, Problem, register
+
+S = 16
+
+SOURCE = r"""
+#define S 16
+__kernel void stencil5(__global float* out, __global const float* in,
+                       int Wp, int W, float c0, float c1)
+{
+    /* `in` is padded by 1 on every side: Wp = W + 2 */
+    __local float lm[S + 2][S + 2];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    lm[ly + 1][lx + 1] = in[(gy + 1)*Wp + (gx + 1)];
+    if (ly == 0)
+        lm[0][lx + 1] = in[gy*Wp + (gx + 1)];
+    if (ly == S - 1)
+        lm[S + 1][lx + 1] = in[(gy + 2)*Wp + (gx + 1)];
+    if (lx == 0)
+        lm[ly + 1][0] = in[(gy + 1)*Wp + gx];
+    if (lx == S - 1)
+        lm[ly + 1][S + 1] = in[(gy + 1)*Wp + (gx + 2)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float v = c0 * lm[ly + 1][lx + 1]
+            + c1 * (lm[ly][lx + 1] + lm[ly + 2][lx + 1]
+                    + lm[ly + 1][lx] + lm[ly + 1][lx + 2]);
+    out[gy*W + gx] = v;
+}
+"""
+
+_SIZES = {"test": (64, 64), "small": (128, 128), "bench": (512, 1024)}
+
+C0, C1 = np.float32(0.5), np.float32(0.125)
+
+
+def make_problem(scale: str) -> Problem:
+    h, w = _SIZES[scale]
+    rng = np.random.default_rng(31)
+    grid = rng.random((h + 2, w + 2), dtype=np.float32)
+    inner = grid[1:-1, 1:-1]
+    expected = (
+        C0 * inner
+        + C1 * (grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:])
+    ).astype(np.float32)
+    return Problem(
+        global_size=(w, h),
+        local_size=(S, S),
+        inputs={"in": grid, "Wp": w + 2, "W": w, "c0": float(C0), "c1": float(C1)},
+        expected={"out": expected},
+        atol=1e-4,
+        rtol=1e-3,
+    )
+
+
+APP = register(
+    App(
+        id="PAB-ST",
+        title="stencil",
+        suite="Parboil",
+        source=SOURCE,
+        kernel_name="stencil5",
+        arrays=None,
+        make_problem=make_problem,
+        dataset_note="5-point stencil, 16x16 tile + halo in local memory",
+    )
+)

@@ -1,0 +1,105 @@
+"""Application registry: id -> :class:`App`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Problem:
+    """One concrete dataset + launch geometry for an application."""
+
+    global_size: Tuple[int, ...]
+    local_size: Tuple[int, ...]
+    #: kernel argument name -> numpy array (buffer) or python scalar
+    inputs: Dict[str, object]
+    #: names of output buffer arguments -> expected arrays
+    expected: Dict[str, np.ndarray]
+    #: absolute tolerance for float comparisons
+    atol: float = 1e-4
+    rtol: float = 1e-4
+    #: byte sizes for __local pointer arguments, if any
+    local_arg_sizes: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class App:
+    """One benchmark application (a row of the paper's Table I/III)."""
+
+    id: str                        # e.g. "NVD-MT"
+    title: str                     # e.g. "oclTranspose"
+    suite: str                     # AMD SDK / NVIDIA SDK / Rodinia / Parboil
+    source: str                    # OpenCL C
+    kernel_name: str
+    #: local data structures Grover should remove (None = all)
+    arrays: Optional[List[str]]
+    #: dataset descriptions per scale
+    make_problem: Callable[[str], Problem]
+    #: paper-reported dataset note (Table I)
+    dataset_note: str = ""
+    #: compile-time defines
+    defines: Dict[str, object] = field(default_factory=dict)
+
+
+APPS: Dict[str, App] = {}
+
+
+def register(app: App) -> App:
+    if app.id in APPS:
+        raise ValueError(f"duplicate app id {app.id}")
+    APPS[app.id] = app
+    return app
+
+
+def get_app(app_id: str) -> App:
+    if not APPS:
+        _ensure_loaded()
+    try:
+        return APPS[app_id]
+    except KeyError:
+        raise KeyError(f"unknown app {app_id!r}; known: {sorted(APPS)}") from None
+
+
+def _ensure_loaded() -> None:
+    # importing the modules populates the registry
+    from repro.apps import (  # noqa: F401
+        amd_mm,
+        amd_mt,
+        amd_rg,
+        amd_ss,
+        ext_st3d,
+        nvd_mm,
+        nvd_mt,
+        nvd_nbody,
+        pab_st,
+        rod_sc,
+    )
+
+
+def all_apps() -> List[App]:
+    _ensure_loaded()
+    return [APPS[k] for k in sorted(APPS)]
+
+
+#: the paper's Table III row order
+TABLE_ORDER = [
+    "AMD-SS",
+    "AMD-MT",
+    "NVD-MT",
+    "AMD-RG",
+    "AMD-MM",
+    "NVD-MM-A",
+    "NVD-MM-B",
+    "NVD-MM-AB",
+    "NVD-NBody",
+    "PAB-ST",
+    "ROD-SC",
+]
+
+
+def table_apps() -> List[App]:
+    _ensure_loaded()
+    return [APPS[k] for k in TABLE_ORDER]

@@ -1,0 +1,76 @@
+"""ROD-SC — the Rodinia streamcluster distance kernel.
+
+Point coordinates are stored dimension-major (``coord[d*num + i]``), so
+one point's 16 coordinates live on 16 *different* cache lines ("stored
+far from each other, not in a cacheline" — the paper's words).  The
+kernel gathers the candidate centre's coordinates into contiguous local
+memory once per group; every work-item then computes its distance to
+the centre.  The paper groups this with NVD-MM-B: gathering improves
+cache utilisation, so removing local memory tends to cost performance
+on Nehalem/MIC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.registry import App, Problem, register
+
+D = 16       # dimensionality
+GROUP = 64
+
+SOURCE = r"""
+#define D 16
+__kernel void distKernel(__global float* dist, __global const float* coord,
+                         int num, int center)
+{
+    __local float cc[D];
+    int li = get_local_id(0);
+    int gid = get_global_id(0);
+    if (li < D)
+        cc[li] = coord[li*num + center];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float acc = 0.0f;
+    for (int d = 0; d < D; ++d) {
+        float diff = coord[d*num + gid] - cc[d];
+        acc += diff * diff;
+    }
+    dist[gid] = acc;
+}
+"""
+
+#: point counts chosen so the dimension-major stride is not a multiple of
+#: 1024 floats (which would alias every dimension into one cache set and
+#: dominate both kernel versions with the same pathology)
+_SIZES = {"test": 512, "small": 4160, "bench": 65600}
+
+
+def make_problem(scale: str) -> Problem:
+    n = _SIZES[scale]
+    rng = np.random.default_rng(37)
+    coord = rng.random((D, n), dtype=np.float32)  # dimension-major
+    center = n // 3
+    diff = coord - coord[:, center : center + 1]
+    expected = (diff**2).sum(axis=0).astype(np.float32)
+    return Problem(
+        global_size=(n,),
+        local_size=(GROUP,),
+        inputs={"coord": coord, "num": n, "center": center},
+        expected={"dist": expected},
+        atol=1e-4,
+        rtol=1e-3,
+    )
+
+
+APP = register(
+    App(
+        id="ROD-SC",
+        title="streamcluster (pgain distance)",
+        suite="Rodinia",
+        source=SOURCE,
+        kernel_name="distKernel",
+        arrays=None,
+        make_problem=make_problem,
+        dataset_note="16-D centre coordinates gathered into local memory",
+    )
+)

@@ -1,0 +1,25 @@
+"""Auto-tuning: empirically choosing the best kernel version per platform.
+
+The paper's conclusion: because the performance effect of local memory
+is unpredictable, the practical strategy is to *generate both versions
+with Grover and measure* — "an auto-tuning step for OpenCL kernels".
+"""
+
+from repro.autotune.tuner import TuneResult, autotune
+from repro.autotune.subsets import (
+    SubsetTuneResult,
+    VariantResult,
+    autotune_subsets,
+    removable_arrays,
+    specialize_per_platform,
+)
+
+__all__ = [
+    "TuneResult",
+    "autotune",
+    "SubsetTuneResult",
+    "VariantResult",
+    "autotune_subsets",
+    "removable_arrays",
+    "specialize_per_platform",
+]

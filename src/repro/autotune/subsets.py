@@ -1,0 +1,142 @@
+"""Exhaustive per-array tuning: the paper's auto-tuning framework.
+
+The paper's conclusion: "Ultimately, we aim to incorporate Grover into a
+high-level auto-tuning framework for OpenCL kernels, where code
+specialization is automated for different classes of platforms."
+
+A kernel can stage several data structures (the NVD-MM kernel stages A
+and B); removing them is independent, so the search space is the power
+set of removable local arrays.  :func:`autotune_subsets` enumerates it
+(kernels have 1-3 staged arrays, so the space is tiny), evaluates every
+variant on the device model, and returns the ranked results — the
+NVD-MM-A / -B / -AB experiment generalised into a tuner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core import GroverError, GroverPass
+from repro.core.candidates import find_candidates
+from repro.frontend import compile_kernel
+from repro.perf.devices import CPUSpec, GPUSpec
+from repro.perf.timing import estimate_cost
+from repro.autotune.tuner import _run_traced
+
+
+@dataclass
+class VariantResult:
+    """One evaluated combination of removed local arrays."""
+
+    removed: Tuple[str, ...]
+    cycles: float
+    #: speedup over the untouched kernel (>1 = this variant is faster)
+    speedup: float
+    ok: bool = True
+    error: str = ""
+
+    @property
+    def label(self) -> str:
+        return "+".join(self.removed) if self.removed else "(original)"
+
+
+@dataclass
+class SubsetTuneResult:
+    device: str
+    variants: List[VariantResult]
+
+    @property
+    def best(self) -> VariantResult:
+        return max(
+            (v for v in self.variants if v.ok),
+            key=lambda v: v.speedup,
+        )
+
+    def render(self) -> str:
+        lines = [f"subset tuning on {self.device}:"]
+        for v in sorted(self.variants, key=lambda v: -v.speedup if v.ok else 1):
+            mark = "*" if v is self.best else " "
+            if v.ok:
+                lines.append(
+                    f" {mark} remove {v.label:20s} {v.cycles:14,.0f} cyc"
+                    f"  ({v.speedup:.3f}x)"
+                )
+            else:
+                lines.append(f"   remove {v.label:20s} not reversible: {v.error}")
+        return "\n".join(lines)
+
+
+def removable_arrays(source: str, kernel_name=None, defines=None) -> List[str]:
+    """Names of the local data structures Grover could remove."""
+    kernel = compile_kernel(source, kernel_name, defines=defines)
+    cands, _ = find_candidates(kernel)
+    return [c.name for c in cands]
+
+
+def autotune_subsets(
+    source: str,
+    device: Union[str, CPUSpec, GPUSpec],
+    global_size: Sequence[int],
+    local_size: Sequence[int],
+    inputs: Dict[str, object],
+    kernel_name: Optional[str] = None,
+    defines: Optional[Dict[str, object]] = None,
+    sample_groups: Optional[int] = 4,
+    local_arg_sizes: Optional[Dict[str, int]] = None,
+) -> SubsetTuneResult:
+    """Evaluate every combination of removable local arrays."""
+    dev_name = device if isinstance(device, str) else device.name
+    arrays = removable_arrays(source, kernel_name, defines)
+
+    variants: List[VariantResult] = []
+    base_cycles: Optional[float] = None
+
+    subsets: List[Tuple[str, ...]] = [()]
+    for r in range(1, len(arrays) + 1):
+        subsets.extend(combinations(arrays, r))
+
+    for subset in subsets:
+        kernel = compile_kernel(source, kernel_name, defines=defines)
+        try:
+            if subset:
+                GroverPass(arrays=list(subset)).run(kernel)
+        except GroverError as exc:
+            variants.append(
+                VariantResult(subset, float("nan"), 0.0, ok=False, error=str(exc))
+            )
+            continue
+        trace = _run_traced(
+            kernel, global_size, local_size, inputs, sample_groups, local_arg_sizes
+        )
+        cycles = estimate_cost(trace, device).cycles
+        if subset == ():
+            base_cycles = cycles
+        variants.append(VariantResult(subset, cycles, 1.0))
+
+    assert base_cycles is not None
+    for v in variants:
+        if v.ok:
+            v.speedup = base_cycles / v.cycles
+    return SubsetTuneResult(dev_name, variants)
+
+
+def specialize_per_platform(
+    source: str,
+    devices: Sequence[Union[str, CPUSpec, GPUSpec]],
+    global_size: Sequence[int],
+    local_size: Sequence[int],
+    inputs: Dict[str, object],
+    **kw,
+) -> Dict[str, SubsetTuneResult]:
+    """Tune the kernel for every device: the paper's "code specialization
+    automated for different classes of platforms"."""
+    return {
+        (d if isinstance(d, str) else d.name): autotune_subsets(
+            source, d, global_size, local_size, inputs, **kw
+        )
+        for d in devices
+    }

@@ -1,0 +1,86 @@
+"""Command-line driver: ``python -m repro.cli kernel.cl [options]``.
+
+Runs the Grover pass over an OpenCL C file and prints the before/after
+IR plus the Table-III style index report — the workflow of the paper's
+Fig. 9 pipeline from the terminal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import GroverError, GroverPass
+from repro.frontend import FrontendError, compile_kernel
+from repro.ir.printer import print_function
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="grover",
+        description="Disable local memory usage in an OpenCL kernel (ICPP'14).",
+    )
+    p.add_argument("file", help="OpenCL C source file")
+    p.add_argument("--kernel", help="kernel name (default: the only kernel)")
+    p.add_argument(
+        "-D",
+        dest="defines",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="preprocessor definition (repeatable)",
+    )
+    p.add_argument(
+        "--arrays",
+        help="comma-separated local arrays to remove (default: all)",
+    )
+    p.add_argument(
+        "--keep-barriers",
+        action="store_true",
+        help="do not strip barriers after the rewrite",
+    )
+    p.add_argument(
+        "--before",
+        action="store_true",
+        help="also print the IR before the transformation",
+    )
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    source = Path(args.file).read_text()
+    defines = {}
+    for d in args.defines:
+        name, _, value = d.partition("=")
+        defines[name] = value or "1"
+
+    try:
+        kernel = compile_kernel(source, args.kernel, defines=defines)
+    except FrontendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.before:
+        print("; ---- before Grover ----")
+        print(print_function(kernel))
+        print()
+
+    arrays = args.arrays.split(",") if args.arrays else None
+    pipeline = GroverPass(arrays=arrays, remove_barriers=not args.keep_barriers)
+    try:
+        report = pipeline.run(kernel)
+    except GroverError as exc:
+        print(f"grover: cannot disable local memory: {exc}", file=sys.stderr)
+        return 2
+
+    print(report)
+    print()
+    print("; ---- after Grover ----")
+    print(print_function(kernel))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

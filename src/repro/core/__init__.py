@@ -1,0 +1,46 @@
+"""The Grover pass: automatically disabling local memory in OpenCL kernels.
+
+This package implements the paper's contribution (Sections III and IV):
+
+* :mod:`repro.core.candidates` — select reversing candidates: the
+  ``GL`` (global load) / ``LS`` (local store) / ``LL`` (local load)
+  triples of the software-cache pattern (Section IV-A);
+* :mod:`repro.core.exprtree` — index expression trees (Fig. 6,
+  Section IV-B);
+* :mod:`repro.core.patterns` — the ``+ -> *`` / ``+ -> + -> *`` data
+  index patterns that split flattened indices into dimensions (Fig. 7,
+  Section IV-C);
+* :mod:`repro.core.linexpr` / :mod:`repro.core.affine` — exact linear
+  expressions over thread-index symbols (Equations 1-2);
+* :mod:`repro.core.linsys` — building and solving the linear system of
+  Equation 3 (Section IV-D), including the uniqueness/reversibility and
+  integrality checks;
+* :mod:`repro.core.duplicate` — Algorithm 1: duplicating the ``GL``
+  index computation in front of the ``LL`` with sub-expression reuse
+  (Section IV-E);
+* :mod:`repro.core.rewrite` + :mod:`repro.core.dce` — substituting the
+  solution, replacing all ``LL`` uses with the new global load ``nGL``,
+  and erasing the now-dead local array, stores and barriers
+  (Section IV-F);
+* :mod:`repro.core.grover` — the pass driver and the
+  :class:`~repro.core.grover.GroverReport` that reproduces the paper's
+  Table III.
+"""
+
+from repro.core.grover import (
+    GroverError,
+    GroverPass,
+    GroverReport,
+    NotReversible,
+    PatternMismatch,
+    disable_local_memory,
+)
+
+__all__ = [
+    "GroverError",
+    "GroverPass",
+    "GroverReport",
+    "NotReversible",
+    "PatternMismatch",
+    "disable_local_memory",
+]

@@ -1,0 +1,57 @@
+"""Index-expression normalisation (reassociation + canonical form).
+
+Vendor compilers reassociate and value-number address arithmetic before
+executing a kernel; without that, the index chains Grover materialises
+in front of each local load would be unfairly long compared to the
+original code (e.g. the five neighbour loads of a stencil share almost
+their whole address computation).
+
+The pass rewrites every affine GEP index into a canonical
+sum-of-products: symbol terms in a stable order, the constant term
+last.  Two indices that differ only by a constant offset then share a
+maximal instruction prefix, which the CSE pass collapses — leaving one
+extra ``add`` per neighbour access, as a real optimising compiler would.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.affine import AffineContext
+from repro.core.linexpr import ONE, LinExpr
+from repro.core.rewrite import Materializer, RewriteError
+from repro.ir.builder import IRBuilder
+from repro.ir.cfg import dominators
+from repro.ir.function import Function
+from repro.ir.instructions import GEP
+from repro.ir.types import IntType
+from repro.ir.values import Constant
+
+
+def normalize_gep_indices(fn: Function) -> int:
+    """Rewrite affine GEP indices into canonical form; returns #rewritten."""
+    ctx = AffineContext(fn, key_loads_by_instance=True)
+    doms = dominators(fn)
+    builder = IRBuilder()
+    rewritten = 0
+
+    geps: List[GEP] = [i for i in fn.instructions() if isinstance(i, GEP)]
+    for gep in geps:
+        for pos, idx in enumerate(gep.indices):
+            if isinstance(idx, Constant) or not isinstance(idx.type, IntType):
+                continue
+            expr = ctx.to_linexpr(idx)
+            if not expr.is_integral():
+                continue
+            n_sym_terms = sum(1 for s in expr.terms if s != ONE)
+            if len(expr.terms) < 2 and n_sym_terms <= 1:
+                continue  # nothing to reassociate
+            builder.position_before(gep)
+            mat = Materializer(builder, fn, doms, gep)
+            try:
+                new_idx = mat.materialize(expr)
+            except RewriteError:
+                continue  # an index term is unavailable here; keep original
+            gep.set_operand(1 + pos, new_idx)
+            rewritten += 1
+    return rewritten

@@ -1,0 +1,122 @@
+"""Experiment driver: regenerates the paper's tables and figures.
+
+Traces are device-independent, so each (application, variant) is
+executed once at the requested scale and then timed on every device
+model; results are memoised process-wide because pytest-benchmark runs
+each benchmark body several times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.harness import run_app
+from repro.apps.registry import TABLE_ORDER, get_app, table_apps
+from repro.perf.devices import CPU_DEVICES, GPU_DEVICES
+from repro.perf.timing import classify, estimate_cost
+from repro.runtime.trace import KernelTrace
+
+#: work-groups simulated per launch at bench scale (extrapolated)
+BENCH_SAMPLE_GROUPS = 4
+
+_trace_cache: Dict[Tuple[str, str, str], KernelTrace] = {}
+_np_cache: Dict[Tuple[str, str, str], float] = {}
+
+
+def app_trace(app_id: str, variant: str, scale: str = "bench") -> KernelTrace:
+    key = (app_id, variant, scale)
+    if key not in _trace_cache:
+        run = run_app(
+            get_app(app_id),
+            variant,
+            scale,
+            collect_trace=True,
+            sample_groups=BENCH_SAMPLE_GROUPS if scale == "bench" else None,
+        )
+        assert run.trace is not None
+        _trace_cache[key] = run.trace
+    return _trace_cache[key]
+
+
+def normalized_perf(app_id: str, device_name: str, scale: str = "bench") -> float:
+    """The paper's metric on one app/device: cycles_with / cycles_without
+    (> 1 means disabling local memory improved performance)."""
+    key = (app_id, device_name, scale)
+    if key not in _np_cache:
+        t_with = app_trace(app_id, "with", scale)
+        t_without = app_trace(app_id, "without", scale)
+        c_with = estimate_cost(t_with, device_name)
+        c_without = estimate_cost(t_without, device_name)
+        _np_cache[key] = c_with.cycles / c_without.cycles
+    return _np_cache[key]
+
+
+@dataclass
+class Fig10Series:
+    """One subplot of Figure 10: normalised perf per app on one device."""
+
+    device: str
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def classify_all(self, threshold: float = 0.05) -> Dict[str, str]:
+        return {a: classify(v, threshold) for a, v in self.values.items()}
+
+
+def figure10(device_name: str, scale: str = "bench") -> Fig10Series:
+    series = Fig10Series(device_name)
+    for app_id in TABLE_ORDER:
+        series.values[app_id] = normalized_perf(app_id, device_name, scale)
+    return series
+
+
+@dataclass
+class Table4:
+    """Gain/loss/similar distribution over the 33 CPU test cases."""
+
+    per_device: Dict[str, Dict[str, int]]
+
+    @property
+    def totals(self) -> Dict[str, int]:
+        out = {"gain": 0, "loss": 0, "similar": 0}
+        for counts in self.per_device.values():
+            for k, v in counts.items():
+                out[k] += v
+        return out
+
+    @property
+    def cases(self) -> int:
+        return sum(self.totals.values())
+
+
+def table4(scale: str = "bench", threshold: float = 0.05) -> Table4:
+    per_device = {}
+    for dev in CPU_DEVICES:
+        series = figure10(dev, scale)
+        counts = {"gain": 0, "loss": 0, "similar": 0}
+        for verdict in series.classify_all(threshold).values():
+            counts[verdict] += 1
+        per_device[dev] = counts
+    return Table4(per_device)
+
+
+#: the two applications of the Fig. 2 motivation study; the paper's MM
+#: case manually removes the local tile of matrix A while keeping B's
+#: (Section II-C), i.e. the NVD-MM-A variant
+FIG2_APPS = ("NVD-MT", "NVD-MM-A")
+
+
+def figure2(scale: str = "bench") -> Dict[str, Dict[str, float]]:
+    """Normalised performance of MT and MM on all six platforms."""
+    out: Dict[str, Dict[str, float]] = {}
+    for app_id in FIG2_APPS:
+        label = "MT" if "MT" in app_id else "MM"
+        out[label] = {}
+        for dev in list(GPU_DEVICES) + list(CPU_DEVICES):
+            out[label][dev] = normalized_perf(app_id, dev, scale)
+    return out
+
+
+def clear_caches() -> None:
+    _trace_cache.clear()
+    _np_cache.clear()

@@ -1,0 +1,29 @@
+"""OpenCL-C (subset) frontend: kernel source -> repro IR.
+
+The pipeline mirrors the paper's Figure 9 (Clang -> SPIR): our
+:func:`compile_kernel` plays the role of Clang producing SPIR, after which
+the Grover pass (``repro.core``) analyses and rewrites the IR, and the
+runtime (``repro.runtime``) executes it.
+
+Supported language subset (everything the 11 benchmark kernels need):
+
+* scalar types: ``char uchar short ushort int uint long ulong float double
+  size_t bool``;  vector typedefs ``float2 float4 int4`` etc. with
+  ``.x/.y/.z/.w`` member access;
+* address-space qualifiers ``__global __local __constant __private`` on
+  pointer parameters and on in-kernel array declarations;
+* expressions: full C arithmetic/logic/comparison/ternary, array
+  subscripts (multi-dimensional), pointer arithmetic, casts;
+* statements: declarations with initialisers, assignments (incl.
+  compound), ``if/else``, ``for``, ``while``, ``do``, ``break``,
+  ``continue``, ``return``;
+* object-like ``#define`` macros, ``#ifdef/#ifndef/#else/#endif``,
+  host-supplied ``-D``-style definitions via the ``defines`` argument;
+* OpenCL builtins: work-item functions, ``barrier``, a math subset,
+  ``vload2/4``, ``vstore2/4``, ``make_floatN``, ``mad``, ``clamp`` etc.
+"""
+
+from repro.frontend.errors import FrontendError
+from repro.frontend.compile import compile_kernel, compile_source
+
+__all__ = ["FrontendError", "compile_kernel", "compile_source"]

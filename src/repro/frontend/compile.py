@@ -1,0 +1,50 @@
+"""Top-level frontend driver: OpenCL C source -> IR module / kernel."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from pycparser import CParser
+from pycparser.c_parser import ParseError
+
+from repro.frontend.errors import FrontendError
+from repro.frontend.lower import lower_translation_unit
+from repro.frontend.preprocess import preprocess
+from repro.ir.function import Function, Module
+from repro.ir.passes import run_default_passes
+from repro.ir.verifier import verify_module
+
+
+def compile_source(
+    source: str,
+    defines: Optional[Dict[str, object]] = None,
+    module_name: str = "kernel_module",
+    optimize: bool = True,
+) -> Module:
+    """Compile OpenCL C source text into a verified IR module."""
+    pre = preprocess(source, defines)
+    parser = CParser()
+    try:
+        ast = parser.parse(pre.text, filename=module_name)
+    except ParseError as exc:
+        raise FrontendError(f"parse error: {exc}") from exc
+    module = lower_translation_unit(ast, pre.kernel_names, module_name)
+    run_default_passes(module)
+    if optimize:
+        # the vendor-compiler stage of the paper's Fig. 9 pipeline
+        from repro.core.optimize import vendor_optimize
+
+        for fn in module:
+            vendor_optimize(fn)
+    verify_module(module)
+    return module
+
+
+def compile_kernel(
+    source: str,
+    name: Optional[str] = None,
+    defines: Optional[Dict[str, object]] = None,
+    optimize: bool = True,
+) -> Function:
+    """Compile source and return one kernel (the only one, or by name)."""
+    return compile_source(source, defines, optimize=optimize).kernel(name)

@@ -1,0 +1,19 @@
+"""Frontend diagnostics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class FrontendError(Exception):
+    """A diagnostic raised while preprocessing, parsing or lowering."""
+
+    def __init__(self, message: str, coord: Optional[object] = None) -> None:
+        self.coord = coord
+        if coord is not None:
+            message = f"{coord}: {message}"
+        super().__init__(message)
+
+
+class UnsupportedFeature(FrontendError):
+    """A construct outside the supported OpenCL-C subset."""

@@ -1,0 +1,129 @@
+"""SPIR-like intermediate representation for OpenCL kernels.
+
+This package is the compiler substrate the Grover pass (``repro.core``)
+operates on.  It mirrors the subset of LLVM IR the paper's implementation
+uses: typed values with use-def chains, basic blocks, memory instructions
+with OpenCL address spaces, and an insert-anywhere builder (needed by the
+instruction-duplication step of Algorithm 1).
+
+The IR deliberately avoids SSA phi nodes: the frontend lowers mutable C
+variables to ``alloca`` stack slots (clang -O0 style), so the expression
+tree construction of Section IV-B stops at "a load from a stack slot"
+exactly where the paper's stops at "a phi node".
+"""
+
+from repro.ir.types import (
+    AddressSpace,
+    ArrayType,
+    BoolType,
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    VectorType,
+    VoidType,
+    BOOL,
+    FLOAT,
+    DOUBLE,
+    HALF,
+    I8,
+    I16,
+    I32,
+    I64,
+    U8,
+    U16,
+    U32,
+    U64,
+    VOID,
+)
+from repro.ir.values import Argument, Constant, LocalArray, Value
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    ExtractElement,
+    FCmp,
+    GEP,
+    ICmp,
+    InsertElement,
+    Instruction,
+    Load,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import print_function, print_module
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+from repro.ir.cfg import (
+    dominators,
+    immediate_dominators,
+    postorder,
+    predecessors,
+    reverse_postorder,
+    successors,
+)
+
+__all__ = [
+    "AddressSpace",
+    "ArrayType",
+    "BoolType",
+    "FloatType",
+    "IntType",
+    "PointerType",
+    "Type",
+    "VectorType",
+    "VoidType",
+    "BOOL",
+    "FLOAT",
+    "DOUBLE",
+    "HALF",
+    "I8",
+    "I16",
+    "I32",
+    "I64",
+    "U8",
+    "U16",
+    "U32",
+    "U64",
+    "VOID",
+    "Argument",
+    "Constant",
+    "LocalArray",
+    "Value",
+    "Alloca",
+    "BinOp",
+    "Br",
+    "Call",
+    "Cast",
+    "CondBr",
+    "ExtractElement",
+    "FCmp",
+    "GEP",
+    "ICmp",
+    "InsertElement",
+    "Instruction",
+    "Load",
+    "Ret",
+    "Select",
+    "Store",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "IRBuilder",
+    "print_function",
+    "print_module",
+    "VerificationError",
+    "verify_function",
+    "verify_module",
+    "dominators",
+    "immediate_dominators",
+    "postorder",
+    "predecessors",
+    "reverse_postorder",
+    "successors",
+]

@@ -1,0 +1,157 @@
+"""Functions, basic blocks and modules."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.ir.instructions import Instruction
+from repro.ir.types import ArrayType, PointerType, Type, VOID
+from repro.ir.values import Argument, LocalArray, Value
+
+_block_ids = itertools.count()
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or f"bb{next(_block_ids)}"
+        self.instructions: List[Instruction] = []
+        self.parent: Optional["Function"] = None
+
+    # -- insertion -----------------------------------------------------------
+    def append(self, inst: Instruction) -> Instruction:
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def insert(self, index: int, inst: Instruction) -> Instruction:
+        inst.parent = self
+        self.instructions.insert(index, inst)
+        return inst
+
+    def insert_before(self, anchor: Instruction, inst: Instruction) -> Instruction:
+        """Insert ``inst`` immediately before ``anchor`` (must be in this block)."""
+        idx = self.instructions.index(anchor)
+        return self.insert(idx, inst)
+
+    # -- structure -----------------------------------------------------------
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        return term.successors() if term is not None else []  # type: ignore[attr-defined]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<BasicBlock {self.name} ({len(self.instructions)} insts)>"
+
+
+class Function:
+    """A kernel or helper function."""
+
+    def __init__(
+        self,
+        name: str,
+        arg_types: Sequence[Type],
+        arg_names: Sequence[str],
+        ret_type: Type = VOID,
+        is_kernel: bool = False,
+    ) -> None:
+        if len(arg_types) != len(arg_names):
+            raise ValueError("arg_types/arg_names length mismatch")
+        self.name = name
+        self.ret_type = ret_type
+        self.is_kernel = is_kernel
+        self.args: List[Argument] = [
+            Argument(ty, nm, i) for i, (ty, nm) in enumerate(zip(arg_types, arg_names))
+        ]
+        self.blocks: List[BasicBlock] = []
+        #: __local arrays declared in the kernel body
+        self.local_arrays: List[LocalArray] = []
+        #: required work-group size if declared (reqd_work_group_size)
+        self.reqd_work_group_size: Optional[tuple] = None
+
+    # -- construction --------------------------------------------------------
+    def add_block(self, name: str = "", after: Optional[BasicBlock] = None) -> BasicBlock:
+        bb = BasicBlock(name)
+        bb.parent = self
+        if after is None:
+            self.blocks.append(bb)
+        else:
+            self.blocks.insert(self.blocks.index(after) + 1, bb)
+        return bb
+
+    def add_local_array(self, array_type: ArrayType, name: str) -> LocalArray:
+        la = LocalArray(array_type, name)
+        self.local_arrays.append(la)
+        return la
+
+    def remove_local_array(self, la: LocalArray) -> None:
+        self.local_arrays.remove(la)
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def arg(self, name: str) -> Argument:
+        for a in self.args:
+            if a.name == name:
+                return a
+        raise KeyError(f"no argument named {name!r} in {self.name}")
+
+    def instructions(self) -> Iterator[Instruction]:
+        for bb in self.blocks:
+            yield from bb.instructions
+
+    def local_array(self, name: str) -> LocalArray:
+        for la in self.local_arrays:
+            if la.name == name:
+                return la
+        raise KeyError(f"no local array named {name!r} in {self.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "kernel" if self.is_kernel else "func"
+        return f"<{kind} {self.name} ({len(self.blocks)} blocks)>"
+
+
+class Module:
+    """A translation unit: a set of functions plus named constants."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+
+    def add_function(self, fn: Function) -> Function:
+        if fn.name in self.functions:
+            raise ValueError(f"duplicate function {fn.name}")
+        self.functions[fn.name] = fn
+        return fn
+
+    def kernels(self) -> List[Function]:
+        return [f for f in self.functions.values() if f.is_kernel]
+
+    def kernel(self, name: Optional[str] = None) -> Function:
+        """Fetch a kernel by name, or the sole kernel if unambiguous."""
+        if name is not None:
+            fn = self.functions[name]
+            if not fn.is_kernel:
+                raise KeyError(f"{name} is not a kernel")
+            return fn
+        ks = self.kernels()
+        if len(ks) != 1:
+            raise KeyError(f"module has {len(ks)} kernels; specify a name")
+        return ks[0]
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions.values())

@@ -1,0 +1,463 @@
+"""Textual IR parser — the inverse of :mod:`repro.ir.printer`.
+
+Accepts the SPIR-flavoured dumps produced by ``print_function`` /
+``print_module`` and reconstructs the in-memory IR.  Round-tripping is
+covered by property tests; the parser exists so that IR-level test cases
+and tools can be written directly in the textual form.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CastKind,
+    CmpPred,
+    CondBr,
+    ExtractElement,
+    FCmp,
+    GEP,
+    ICmp,
+    InsertElement,
+    Load,
+    Opcode,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.types import (
+    AddressSpace,
+    ArrayType,
+    BOOL,
+    DOUBLE,
+    FLOAT,
+    HALF,
+    I8,
+    I16,
+    I32,
+    I64,
+    PointerType,
+    Type,
+    U8,
+    U16,
+    U32,
+    U64,
+    VectorType,
+    VOID,
+)
+from repro.ir.values import Constant, Value
+
+
+class IRParseError(Exception):
+    def __init__(self, message: str, line_no: Optional[int] = None) -> None:
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+_SCALARS: Dict[str, Type] = {
+    "void": VOID,
+    "i1": BOOL,
+    "i8": I8,
+    "i16": I16,
+    "i32": I32,
+    "i64": I64,
+    "u8": U8,
+    "u16": U16,
+    "u32": U32,
+    "u64": U64,
+    "half": HALF,
+    "float": FLOAT,
+    "double": DOUBLE,
+}
+
+_BINOPS = {op.value for op in Opcode}
+_CASTS = {k.value for k in CastKind}
+
+
+class _TypeParser:
+    """Recursive-descent parser over a type string."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def peek(self) -> str:
+        return self.text[self.pos :]
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def expect(self, token: str) -> None:
+        self.skip_ws()
+        if not self.text.startswith(token, self.pos):
+            raise IRParseError(
+                f"expected {token!r} at ...{self.text[self.pos:self.pos+20]!r}"
+            )
+        self.pos += len(token)
+
+    def parse(self) -> Type:
+        ty = self.parse_base()
+        # pointer suffixes: "addrspace(N)*"
+        while True:
+            self.skip_ws()
+            m = re.match(r"addrspace\((\d+)\)\*", self.text[self.pos :])
+            if m:
+                ty = PointerType(ty, AddressSpace(int(m.group(1))))
+                self.pos += m.end()
+                continue
+            if self.text.startswith("*", self.pos):
+                ty = PointerType(ty, AddressSpace.PRIVATE)
+                self.pos += 1
+                continue
+            return ty
+
+    def parse_base(self) -> Type:
+        self.skip_ws()
+        rest = self.text[self.pos :]
+        if rest.startswith("["):
+            self.expect("[")
+            self.skip_ws()
+            m = re.match(r"(\d+)", self.text[self.pos :])
+            if not m:
+                raise IRParseError(f"bad array length in {self.text!r}")
+            count = int(m.group(1))
+            self.pos += m.end()
+            self.expect("x")
+            elem = self.parse()
+            self.expect("]")
+            return ArrayType(elem, count)
+        if rest.startswith("<"):
+            self.expect("<")
+            self.skip_ws()
+            m = re.match(r"(\d+)", self.text[self.pos :])
+            count = int(m.group(1))
+            self.pos += m.end()
+            self.expect("x")
+            elem = self.parse()
+            self.expect(">")
+            if not isinstance(elem, (type(I32), type(FLOAT))):
+                pass
+            return VectorType(elem, count)
+        m = re.match(r"[A-Za-z_][A-Za-z0-9_]*", rest)
+        if not m:
+            raise IRParseError(f"expected a type at {rest[:20]!r}")
+        name = m.group(0)
+        if name not in _SCALARS:
+            raise IRParseError(f"unknown type name {name!r}")
+        self.pos += m.end()
+        return _SCALARS[name]
+
+
+def parse_type(text: str) -> Type:
+    p = _TypeParser(text.strip())
+    ty = p.parse()
+    p.skip_ws()
+    if p.pos != len(p.text):
+        raise IRParseError(f"trailing characters in type {text!r}")
+    return ty
+
+
+def _split_type_and_operand(text: str) -> Tuple[Type, str]:
+    """Split e.g. ``i32 %x`` / ``float 1.5`` into (type, operand text)."""
+    p = _TypeParser(text.strip())
+    ty = p.parse()
+    rest = p.peek().strip()
+    return ty, rest
+
+
+#: alias with a name matching its use at instruction-parse sites
+_consume_type = _split_type_and_operand
+
+
+def _literal_type(text: str) -> Type:
+    """Best-effort type for a bare literal (types of constant operands
+    are not printed; integer literals default to i32, float-looking
+    ones to float)."""
+    if re.fullmatch(r"[+-]?\d+", text):
+        return I32
+    return FLOAT
+
+
+class _FunctionParser:
+    def __init__(self, lines: List[Tuple[int, str]]) -> None:
+        self.lines = lines
+        self.values: Dict[str, Value] = {}
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.fn: Optional[Function] = None
+        #: (instruction, operand slot index or attr name, label) fixups
+        self.block_fixups: List[Tuple[object, str, str, int]] = []
+
+    # -- operands ---------------------------------------------------------------
+    def operand(self, ty: Type, text: str, line_no: int) -> Value:
+        text = text.strip()
+        if text.startswith("%"):
+            name = text[1:]
+            if name not in self.values:
+                raise IRParseError(f"use of undefined value %{name}", line_no)
+            return self.values[name]
+        # a literal
+        if text in ("true", "True"):
+            return Constant(BOOL, True)
+        if text in ("false", "False"):
+            return Constant(BOOL, False)
+        try:
+            if re.fullmatch(r"[+-]?\d+", text):
+                return Constant(ty, int(text))
+            return Constant(ty, float(text))
+        except (ValueError, TypeError) as exc:
+            raise IRParseError(f"bad literal {text!r}", line_no) from exc
+
+    def typed_operand(self, text: str, line_no: int) -> Value:
+        ty, rest = _split_type_and_operand(text)
+        return self.operand(ty, rest, line_no)
+
+    def define(self, name: str, value: Value, line_no: int) -> None:
+        if name in self.values:
+            raise IRParseError(f"redefinition of %{name}", line_no)
+        value.name = value.name or name
+        self.values[name] = value
+
+    # -- driver -------------------------------------------------------------------
+    def parse(self) -> Function:
+        line_no, header = self.lines[0]
+        m = re.match(
+            r"(kernel|define)\s+(.*?)\s*@([A-Za-z_][\w.]*)\((.*)\)\s*\{\s*$", header
+        )
+        if not m:
+            raise IRParseError(f"bad function header: {header!r}", line_no)
+        kind, ret_text, name, args_text = m.groups()
+        ret_type = parse_type(ret_text) if ret_text.strip() else VOID
+
+        arg_types: List[Type] = []
+        arg_names: List[str] = []
+        if args_text.strip():
+            for piece in _split_args(args_text):
+                ty, rest = _split_type_and_operand(piece)
+                if not rest.startswith("%"):
+                    raise IRParseError(f"bad parameter {piece!r}", line_no)
+                arg_types.append(ty)
+                arg_names.append(rest[1:])
+        fn = Function(name, arg_types, arg_names, ret_type, is_kernel=kind == "kernel")
+        self.fn = fn
+        for a in fn.args:
+            self.values[a.name] = a
+
+        # first pass: collect block labels so forward branches resolve
+        body = self.lines[1:]
+        if body and body[-1][1].strip() == "}":
+            body = body[:-1]
+        for ln, text in body:
+            s = text.strip()
+            if s.endswith(":") and not s.startswith("%"):
+                label = s[:-1]
+                bb = fn.add_block(label)
+                if label in self.blocks:
+                    raise IRParseError(f"duplicate label {label}", ln)
+                self.blocks[label] = bb
+
+        current: Optional[BasicBlock] = None
+        for ln, text in body:
+            s = text.split(";")[0].strip()
+            if not s:
+                continue
+            if s.endswith(":") and not s.startswith("%"):
+                current = self.blocks[s[:-1]]
+                continue
+            if s.startswith("%") and "= local " in s:
+                m2 = re.match(r"%([\w.]+) = local (.*)$", s)
+                ty = parse_type(m2.group(2))
+                if not isinstance(ty, ArrayType):
+                    raise IRParseError("local declarations must be arrays", ln)
+                la = fn.add_local_array(ty, m2.group(1))
+                self.values[m2.group(1)] = la
+                continue
+            if current is None:
+                raise IRParseError(f"instruction before any label: {s!r}", ln)
+            inst = self.parse_instruction(s, ln)
+            current.append(inst)
+        return fn
+
+    # -- instructions ---------------------------------------------------------------
+    def parse_instruction(self, s: str, ln: int):
+        m = re.match(r"%([\w.]+)\s*=\s*(.*)$", s)
+        if m:
+            name, rest = m.groups()
+            inst = self.parse_rhs(rest.strip(), ln)
+            self.define(name, inst, ln)
+            return inst
+        return self.parse_void(s, ln)
+
+    def parse_rhs(self, s: str, ln: int):
+        op, _, rest = s.partition(" ")
+        rest = rest.strip()
+        if op in _BINOPS:
+            ty, ops = _consume_type(rest)
+            a_text, b_text = _split_args(ops)
+            a = self.operand(ty, a_text, ln)
+            b = self.operand(ty, b_text, ln)
+            return BinOp(Opcode(op), a, b)
+        if op in ("icmp", "fcmp"):
+            pred, _, rest2 = rest.partition(" ")
+            ty, ops = _consume_type(rest2.strip())
+            a_text, b_text = _split_args(ops)
+            a = self.operand(ty, a_text, ln)
+            b = self.operand(ty, b_text, ln)
+            cls = ICmp if op == "icmp" else FCmp
+            return cls(CmpPred(pred), a, b)
+        if op == "select":
+            c_text, t_text, f_text = _split_args(rest)
+            cond = self.operand(BOOL, c_text, ln)
+            t = self.typed_operand(t_text, ln)
+            ty = t.type
+            f = self.operand(ty, f_text, ln)
+            return Select(cond, t, f)
+        if op in _CASTS:
+            m = re.match(r"(.*)\s+to\s+(\S.*)$", rest)
+            if not m:
+                raise IRParseError(f"bad cast: {s!r}", ln)
+            src = self.typed_operand(m.group(1), ln)
+            return Cast(CastKind(op), src, parse_type(m.group(2)))
+        if op == "alloca":
+            return Alloca(parse_type(rest))
+        if op == "load":
+            ty_text, ptr_text = _split_args(rest)
+            ptr = self.typed_operand(ptr_text, ln)
+            return Load(ptr)
+        if op == "getelementptr":
+            m = re.match(r"(.*?)\s*,\s*\[(.*)\]\s*$", rest)
+            if not m:
+                raise IRParseError(f"bad gep: {s!r}", ln)
+            base = self.typed_operand(m.group(1), ln)
+            idx_texts = _split_args(m.group(2)) if m.group(2).strip() else []
+            indices = [self.operand(I32, t, ln) for t in idx_texts]
+            return GEP(base, indices)
+        if op == "call":
+            m = re.match(r"(.*?)@([\w.]+)\((.*)\)\s*$", rest)
+            if not m:
+                raise IRParseError(f"bad call: {s!r}", ln)
+            ret_ty = parse_type(m.group(1)) if m.group(1).strip() else VOID
+            args = [
+                self.operand(_literal_type(t), t, ln)
+                for t in (_split_args(m.group(3)) if m.group(3).strip() else [])
+            ]
+            return Call(m.group(2), args, ret_ty)
+        if op == "extractelement":
+            vec_text, idx_text = _split_args(rest)
+            vec = self.typed_operand(vec_text, ln)
+            return ExtractElement(vec, self.operand(I32, idx_text, ln))
+        if op == "insertelement":
+            vec_text, val_text, idx_text = _split_args(rest)
+            vec = self.typed_operand(vec_text, ln)
+            val = self.operand(vec.type.element, val_text, ln)
+            return InsertElement(vec, val, self.operand(I32, idx_text, ln))
+        raise IRParseError(f"unknown instruction {op!r}", ln)
+
+    def parse_void(self, s: str, ln: int):
+        op, _, rest = s.partition(" ")
+        rest = rest.strip()
+        if op == "store":
+            val_text, ptr_text = _split_args(rest)
+            ptr = self.typed_operand(ptr_text, ln)
+            if _looks_typed(val_text):
+                _, val_text = _split_type_and_operand(val_text)
+            val = self.operand(ptr.type.pointee, val_text, ln)
+            return Store(val, ptr)
+        if op == "br":
+            if rest.startswith("label"):
+                label = rest.split("%", 1)[1].strip()
+                return Br(self._block(label, ln))
+            cond_text, t_text, f_text = _split_args(rest)
+            cond = self.operand(BOOL, cond_text, ln)
+            t = self._block(t_text.split("%", 1)[1].strip(), ln)
+            f = self._block(f_text.split("%", 1)[1].strip(), ln)
+            return CondBr(cond, t, f)
+        if op == "ret":
+            if not rest or rest == "void":
+                return Ret()
+            return Ret(self.typed_operand(rest, ln) if _looks_typed(rest)
+                       else self.operand(I32, rest, ln))
+        if op == "call":
+            m = re.match(r"(.*?)@([\w.]+)\((.*)\)\s*$", rest)
+            if not m:
+                raise IRParseError(f"bad call: {s!r}", ln)
+            ret_ty = parse_type(m.group(1)) if m.group(1).strip() else VOID
+            args = [
+                self.operand(_literal_type(t), t, ln)
+                for t in (_split_args(m.group(3)) if m.group(3).strip() else [])
+            ]
+            return Call(m.group(2), args, ret_ty)
+        raise IRParseError(f"unknown statement {op!r}", ln)
+
+    def _block(self, label: str, ln: int) -> BasicBlock:
+        if label not in self.blocks:
+            raise IRParseError(f"branch to unknown label {label!r}", ln)
+        return self.blocks[label]
+
+
+def _looks_typed(text: str) -> bool:
+    head = text.strip().split(None, 1)[0].rstrip("*")
+    return (
+        head in _SCALARS
+        or head.startswith("[")
+        or head.startswith("<")
+    )
+
+
+def _split_args(text: str) -> List[str]:
+    """Split on top-level commas (respecting [], <> and () nesting)."""
+    parts = []
+    depth = 0
+    cur = []
+    for ch in text:
+        if ch in "[<(":
+            depth += 1
+        elif ch in "]>)":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def parse_function(text: str) -> Function:
+    lines = [
+        (i + 1, line)
+        for i, line in enumerate(text.splitlines())
+        if line.strip()
+    ]
+    if not lines:
+        raise IRParseError("empty input")
+    return _FunctionParser(lines).parse()
+
+
+def parse_module(text: str, name: str = "parsed") -> Module:
+    mod = Module(name)
+    chunks: List[List[Tuple[int, str]]] = []
+    cur: List[Tuple[int, str]] = []
+    for i, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        cur.append((i + 1, line))
+        if line.strip() == "}":
+            chunks.append(cur)
+            cur = []
+    if cur:
+        chunks.append(cur)
+    for chunk in chunks:
+        body = "\n".join(l for _, l in chunk)
+        mod.add_function(parse_function(body))
+    return mod

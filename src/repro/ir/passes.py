@@ -1,0 +1,294 @@
+"""Small IR clean-up passes run after lowering.
+
+``promote_single_store_slots`` is a mem2reg-lite: a stack slot written
+exactly once in the entry block is a constant binding (``int lx =
+get_local_id(0);``), so its loads are forwarded to the stored value and
+the slot disappears.  This leaves exactly the IR shape the paper's
+expression trees expect — thread-index *calls* as leaves — while loop
+counters (multiple stores) keep their slots and appear as the paper's
+phi-node leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Alloca, Instruction, Load, Store
+from repro.ir.values import Value
+
+
+def promote_single_store_slots(fn: Function) -> int:
+    """Forward loads of single-store entry-block slots; returns #promoted."""
+    stores: Dict[Alloca, List[Store]] = {}
+    loads: Dict[Alloca, List[Load]] = {}
+    order: Dict[Instruction, int] = {}
+    for i, inst in enumerate(fn.instructions()):
+        order[inst] = i
+        if isinstance(inst, Store) and isinstance(inst.ptr, Alloca):
+            stores.setdefault(inst.ptr, []).append(inst)
+        elif isinstance(inst, Load) and isinstance(inst.ptr, Alloca):
+            loads.setdefault(inst.ptr, []).append(inst)
+
+    promoted = 0
+    for slot, sts in stores.items():
+        if len(sts) != 1:
+            continue
+        st = sts[0]
+        if st.parent is not fn.entry:
+            continue
+        # every use of the slot must be this store or a load after it
+        uses_ok = all(
+            u is st or (isinstance(u, Load) and order[u] > order[st])
+            for u in slot.users
+        )
+        if not uses_ok:
+            continue
+        value = st.value
+        for ld in loads.get(slot, []):
+            ld.replace_all_uses_with(value)
+            ld.erase_from_parent()
+        st.erase_from_parent()
+        slot.erase_from_parent()
+        promoted += 1
+    return promoted
+
+
+def _is_hoistable_kind(inst: Instruction) -> bool:
+    from repro.ir.instructions import (
+        BinOp,
+        Call,
+        Cast,
+        ExtractElement,
+        FCmp,
+        GEP,
+        ICmp,
+        Select,
+    )
+
+    if isinstance(inst, (BinOp, Cast, GEP, ICmp, FCmp, Select, ExtractElement)):
+        return True
+    if isinstance(inst, Call):
+        # work-item queries are pure and uniform across iterations
+        return inst.callee in (
+            "get_global_id",
+            "get_local_id",
+            "get_group_id",
+            "get_global_size",
+            "get_local_size",
+            "get_num_groups",
+        )
+    return False
+
+
+def loop_invariant_code_motion(fn: Function) -> int:
+    """Hoist loop-invariant pure computation into loop preheaders.
+
+    This mirrors what vendor OpenCL compilers do to the SPIR before
+    execution; without it the nGL index arithmetic Grover materialises in
+    front of an inner-loop local load would be unfairly re-executed every
+    iteration (real pipelines hoist it, and so does ours).
+
+    A load from a stack slot is invariant when the loop body contains no
+    store to that slot; global/local memory loads are never hoisted
+    (other work-items may write between barriers).
+    """
+    from repro.ir.cfg import natural_loops
+
+    hoisted_total = 0
+    changed = True
+    while changed:
+        changed = False
+        for loop in natural_loops(fn):
+            pre = loop.preheader
+            if pre is None or pre.terminator is None:
+                continue
+            body_blocks = loop.body
+            stored_slots = {
+                inst.ptr
+                for bb in body_blocks
+                for inst in bb.instructions
+                if isinstance(inst, Store) and isinstance(inst.ptr, Alloca)
+            }
+            in_loop = {
+                inst for bb in body_blocks for inst in bb.instructions
+            }
+
+            def invariant_operand(op) -> bool:
+                return op not in in_loop
+
+            moved = True
+            while moved:
+                moved = False
+                for bb in list(body_blocks):
+                    for inst in list(bb.instructions):
+                        if inst.is_terminator or inst not in in_loop:
+                            continue
+                        ok = False
+                        if _is_hoistable_kind(inst):
+                            ok = all(invariant_operand(op) for op in inst.operands)
+                        elif isinstance(inst, Load) and isinstance(inst.ptr, Alloca):
+                            ok = inst.ptr not in stored_slots
+                        if not ok:
+                            continue
+                        # move to the end of the preheader (before its branch)
+                        bb.instructions.remove(inst)
+                        pre.insert_before(pre.terminator, inst)
+                        in_loop.discard(inst)
+                        hoisted_total += 1
+                        moved = True
+                        changed = True
+    return hoisted_total
+
+
+def fold_constants(fn: Function) -> int:
+    """Fold binops/casts whose operands are all constants."""
+    from fractions import Fraction
+
+    from repro.ir.instructions import BinOp, Cast, CastKind, Opcode
+    from repro.ir.types import FloatType, IntType
+    from repro.ir.values import Constant
+
+    folded = 0
+    changed = True
+    while changed:
+        changed = False
+        for bb in fn.blocks:
+            for inst in list(bb.instructions):
+                result = None
+                if isinstance(inst, BinOp) and all(
+                    isinstance(o, Constant) for o in inst.operands
+                ):
+                    a, b = (o.value for o in inst.operands)
+                    try:
+                        result = _fold_binop(inst.opcode, a, b)
+                    except (ZeroDivisionError, ValueError):
+                        result = None
+                elif isinstance(inst, Cast) and isinstance(inst.value, Constant):
+                    if isinstance(inst.type, (IntType, FloatType)):
+                        result = inst.value.value
+                if result is None:
+                    continue
+                inst.replace_all_uses_with(Constant(inst.type, result))
+                inst.erase_from_parent()
+                folded += 1
+                changed = True
+    return folded
+
+
+def _fold_binop(op, a, b):
+    from repro.ir.instructions import Opcode
+
+    table = {
+        Opcode.ADD: lambda: a + b,
+        Opcode.SUB: lambda: a - b,
+        Opcode.MUL: lambda: a * b,
+        Opcode.FADD: lambda: a + b,
+        Opcode.FSUB: lambda: a - b,
+        Opcode.FMUL: lambda: a * b,
+        Opcode.FDIV: lambda: a / b,
+        Opcode.AND: lambda: a & b,
+        Opcode.OR: lambda: a | b,
+        Opcode.XOR: lambda: a ^ b,
+        Opcode.SHL: lambda: a << b,
+        Opcode.ASHR: lambda: a >> b,
+        Opcode.SDIV: lambda: int(a / b) if b else None,
+        Opcode.UDIV: lambda: int(a / b) if b else None,
+        Opcode.SREM: lambda: a - int(a / b) * b if b else None,
+        Opcode.UREM: lambda: a - int(a / b) * b if b else None,
+    }
+    fn = table.get(op)
+    return fn() if fn else None
+
+
+def common_subexpression_elimination(fn: Function) -> int:
+    """Dominator-scoped CSE over pure instructions.
+
+    Mirrors the GVN a vendor compiler applies to the SPIR: the index
+    chains Grover materialises share most sub-expressions with code that
+    already exists (that is the point of Algorithm 1's reuse), and CSE
+    folds the rest.
+    """
+    from repro.ir.cfg import immediate_dominators, reverse_postorder
+    from repro.ir.instructions import (
+        BinOp,
+        Call,
+        Cast,
+        ExtractElement,
+        FCmp,
+        GEP,
+        ICmp,
+        Select,
+    )
+    from repro.ir.values import Constant
+
+    pure_calls = {
+        "get_global_id",
+        "get_local_id",
+        "get_group_id",
+        "get_global_size",
+        "get_local_size",
+        "get_num_groups",
+        "splat",
+    }
+
+    def key(inst: Instruction):
+        def op_key(v: Value):
+            if isinstance(v, Constant):
+                return ("c", str(v.type), v.value)
+            return id(v)
+
+        ops = tuple(op_key(o) for o in inst.operands)
+        if isinstance(inst, BinOp):
+            return ("bin", inst.opcode, ops)
+        if isinstance(inst, (ICmp, FCmp)):
+            return ("cmp", type(inst).__name__, inst.pred, ops)
+        if isinstance(inst, Cast):
+            return ("cast", inst.kind, str(inst.type), ops)
+        if isinstance(inst, GEP):
+            return ("gep", ops)
+        if isinstance(inst, Select):
+            return ("sel", ops)
+        if isinstance(inst, ExtractElement):
+            return ("ext", ops)
+        if isinstance(inst, Call) and inst.callee in pure_calls:
+            return ("call", inst.callee, ops)
+        return None
+
+    idom = immediate_dominators(fn)
+    tables: dict = {}
+    removed = 0
+    for bb in reverse_postorder(fn):
+        table: dict = {}
+        tables[bb] = table
+
+        def lookup(k):
+            blk = bb
+            while blk is not None:
+                v = tables.get(blk, {}).get(k)
+                if v is not None:
+                    return v
+                blk = idom.get(blk)
+            return None
+
+        for inst in list(bb.instructions):
+            k = key(inst)
+            if k is None:
+                continue
+            existing = lookup(k)
+            if existing is not None:
+                inst.replace_all_uses_with(existing)
+                inst.erase_from_parent()
+                removed += 1
+            else:
+                table[k] = inst
+    return removed
+
+
+def run_default_passes(mod: Module) -> None:
+    for fn in mod:
+        promote_single_store_slots(fn)
+        fold_constants(fn)
+        common_subexpression_elimination(fn)
+        loop_invariant_code_motion(fn)
+        common_subexpression_elimination(fn)

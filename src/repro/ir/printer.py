@@ -1,0 +1,121 @@
+"""Textual IR dump, SPIR/LLVM-flavoured.
+
+Used by documentation, the examples (showing the kernel before/after the
+Grover pass, mirroring the paper's Figure 1), and by tests asserting on
+structural properties of the emitted code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    ExtractElement,
+    FCmp,
+    GEP,
+    ICmp,
+    InsertElement,
+    Instruction,
+    Load,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.values import Argument, Constant, LocalArray, Value
+
+
+class _Namer:
+    def __init__(self) -> None:
+        self.names: Dict[Value, str] = {}
+        self.counter = 0
+
+    def name(self, v: Value) -> str:
+        if isinstance(v, Constant):
+            return repr(v.value)
+        if v not in self.names:
+            if isinstance(v, (Argument, LocalArray)) and v.name:
+                self.names[v] = f"%{v.name}"
+            elif isinstance(v, Instruction) and v.name:
+                self.names[v] = f"%{v.name}.{self.counter}"
+                self.counter += 1
+            else:
+                self.names[v] = f"%{self.counter}"
+                self.counter += 1
+        return self.names[v]
+
+
+def _format_inst(inst: Instruction, names: _Namer, block_names: Dict[BasicBlock, str]) -> str:
+    n = names.name
+    if isinstance(inst, BinOp):
+        return f"{n(inst)} = {inst.opcode.value} {inst.type} {n(inst.lhs)}, {n(inst.rhs)}"
+    if isinstance(inst, (ICmp, FCmp)):
+        op = "icmp" if isinstance(inst, ICmp) else "fcmp"
+        a, b = inst.operands
+        return f"{n(inst)} = {op} {inst.pred.value} {a.type} {n(a)}, {n(b)}"
+    if isinstance(inst, Select):
+        c, t, f = inst.operands
+        return f"{n(inst)} = select {n(c)}, {inst.type} {n(t)}, {n(f)}"
+    if isinstance(inst, Cast):
+        return f"{n(inst)} = {inst.kind.value} {inst.value.type} {n(inst.value)} to {inst.type}"
+    if isinstance(inst, Alloca):
+        return f"{n(inst)} = alloca {inst.allocated_type}"
+    if isinstance(inst, Load):
+        return f"{n(inst)} = load {inst.type}, {inst.ptr.type} {n(inst.ptr)}"
+    if isinstance(inst, Store):
+        return f"store {inst.value.type} {n(inst.value)}, {inst.ptr.type} {n(inst.ptr)}"
+    if isinstance(inst, GEP):
+        idxs = ", ".join(n(i) for i in inst.indices)
+        return f"{n(inst)} = getelementptr {inst.base.type} {n(inst.base)}, [{idxs}]"
+    if isinstance(inst, Call):
+        args = ", ".join(n(a) for a in inst.args)
+        prefix = "" if inst.type.size == 0 else f"{n(inst)} = "
+        return f"{prefix}call {inst.type} @{inst.callee}({args})"
+    if isinstance(inst, ExtractElement):
+        return f"{n(inst)} = extractelement {inst.vec.type} {n(inst.vec)}, {n(inst.index)}"
+    if isinstance(inst, InsertElement):
+        return (
+            f"{n(inst)} = insertelement {inst.vec.type} {n(inst.vec)}, "
+            f"{n(inst.value)}, {n(inst.index)}"
+        )
+    if isinstance(inst, Br):
+        return f"br label %{block_names[inst.target]}"
+    if isinstance(inst, CondBr):
+        return (
+            f"br {n(inst.cond)}, label %{block_names[inst.if_true]}, "
+            f"label %{block_names[inst.if_false]}"
+        )
+    if isinstance(inst, Ret):
+        return f"ret {n(inst.value)}" if inst.value is not None else "ret void"
+    raise NotImplementedError(type(inst).__name__)  # pragma: no cover
+
+
+def print_function(fn: Function) -> str:
+    names = _Namer()
+    block_names: Dict[BasicBlock, str] = {}
+    seen: Dict[str, int] = {}
+    for bb in fn.blocks:
+        n = seen.get(bb.name, 0)
+        seen[bb.name] = n + 1
+        block_names[bb] = bb.name if n == 0 else f"{bb.name}.{n}"
+    args = ", ".join(f"{a.type} %{a.name}" for a in fn.args)
+    kind = "kernel" if fn.is_kernel else "define"
+    lines: List[str] = [f"{kind} {fn.ret_type} @{fn.name}({args}) {{"]
+    for la in fn.local_arrays:
+        lines.append(f"  %{la.name} = local {la.array_type}  ; {la.nbytes} bytes")
+    for bb in fn.blocks:
+        lines.append(f"{block_names[bb]}:")
+        for inst in bb.instructions:
+            lines.append("  " + _format_inst(inst, names, block_names))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(mod: Module) -> str:
+    return "\n\n".join(print_function(fn) for fn in mod)

@@ -1,0 +1,220 @@
+"""Type system for the SPIR-like IR.
+
+Types are immutable and interned by value equality; two ``IntType(32, True)``
+instances compare equal and hash identically, so they can be used as dict
+keys throughout the compiler.
+
+OpenCL address spaces are first-class here because the whole point of the
+Grover pass is distinguishing ``__global`` from ``__local`` memory accesses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+class AddressSpace(enum.IntEnum):
+    """OpenCL disjoint address spaces (SPIR numbering)."""
+
+    PRIVATE = 0
+    GLOBAL = 1
+    CONSTANT = 2
+    LOCAL = 3
+
+    def short_name(self) -> str:
+        return {
+            AddressSpace.PRIVATE: "private",
+            AddressSpace.GLOBAL: "global",
+            AddressSpace.CONSTANT: "constant",
+            AddressSpace.LOCAL: "local",
+        }[self]
+
+
+class Type:
+    """Base class for IR types."""
+
+    #: size of one value of this type in bytes; 0 for void.
+    size: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return str(self)
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    size: int = 0
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class BoolType(Type):
+    """i1 — result of comparisons, operand of select/condbr."""
+
+    size: int = 1
+
+    def __str__(self) -> str:
+        return "i1"
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bits not in (8, 16, 32, 64):
+            raise ValueError(f"unsupported integer width: {self.bits}")
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.bits // 8
+
+    def __str__(self) -> str:
+        return f"{'i' if self.signed else 'u'}{self.bits}"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(f"{'i' if self.signed else 'u'}{self.bits // 8}")
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.signed else (1 << self.bits) - 1
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits not in (16, 32, 64):
+            raise ValueError(f"unsupported float width: {self.bits}")
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.bits // 8
+
+    def __str__(self) -> str:
+        return {16: "half", 32: "float", 64: "double"}[self.bits]
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(f"f{self.bits // 8}")
+
+
+@dataclass(frozen=True)
+class VectorType(Type):
+    """OpenCL short vector, e.g. float4."""
+
+    element: Type
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count not in (2, 3, 4, 8, 16):
+            raise ValueError(f"unsupported vector width: {self.count}")
+        if not isinstance(self.element, (IntType, FloatType)):
+            raise ValueError("vector element must be scalar int/float")
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        # float3 occupies 4 elements per the OpenCL spec; we only use 2/4/8/16.
+        n = 4 if self.count == 3 else self.count
+        return self.element.size * n
+
+    def __str__(self) -> str:
+        return f"<{self.count} x {self.element}>"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return self.element.numpy_dtype  # per-lane dtype
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    pointee: Type
+    addrspace: AddressSpace = AddressSpace.PRIVATE
+
+    #: all pointers are 64-bit in the runtime encoding
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return 8
+
+    def __str__(self) -> str:
+        return f"{self.pointee} addrspace({int(self.addrspace)})*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("array length must be positive")
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.element.size * self.count
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+    def dims(self) -> Tuple[int, ...]:
+        """Shape of a (possibly nested) array, outermost first."""
+        inner = self.element
+        shape = [self.count]
+        while isinstance(inner, ArrayType):
+            shape.append(inner.count)
+            inner = inner.element
+        return tuple(shape)
+
+    def base_element(self) -> Type:
+        inner: Type = self
+        while isinstance(inner, ArrayType):
+            inner = inner.element
+        return inner
+
+
+# Interned singletons for common types.
+VOID = VoidType()
+BOOL = BoolType()
+I8 = IntType(8, True)
+I16 = IntType(16, True)
+I32 = IntType(32, True)
+I64 = IntType(64, True)
+U8 = IntType(8, False)
+U16 = IntType(16, False)
+U32 = IntType(32, False)
+U64 = IntType(64, False)
+HALF = FloatType(16)
+FLOAT = FloatType(32)
+DOUBLE = FloatType(64)
+
+
+def is_integer(ty: Type) -> bool:
+    return isinstance(ty, IntType)
+
+
+def is_float(ty: Type) -> bool:
+    return isinstance(ty, FloatType)
+
+
+def is_scalar(ty: Type) -> bool:
+    return isinstance(ty, (IntType, FloatType, BoolType))
+
+
+def is_pointer(ty: Type) -> bool:
+    return isinstance(ty, PointerType)
+
+
+def is_vector(ty: Type) -> bool:
+    return isinstance(ty, VectorType)

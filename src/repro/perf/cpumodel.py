@@ -1,0 +1,116 @@
+"""Cache-only CPU timing model.
+
+Execution scheme (what Intel's CPU runtime and Twin Peaks do, as cited
+in the paper's Section VI-C):
+
+* each work-group runs on one hardware thread;
+* between barriers, the work-items of the group execute *serially* —
+  this is the implicit tiling that gives CPUs data locality without
+  local memory;
+* ``__local`` memory is ordinary cacheable memory: staging data through
+  it costs real instructions and real cache traffic (the paper's
+  motivation for removing it).
+
+Cost model per work-group::
+
+    cycles = instructions / ipc
+           + sum(level_hits * lat_level) / mlp
+           + (memory_misses_prefetched * lat_mem * prefetch_factor
+              + other_misses * lat_mem) / mlp
+           + barriers * work_items * barrier_cost
+
+The private L1/L2 are simulated per group (fresh — a group's stream is
+what the thread sees); the shared LLC is approximated by a
+per-thread slice of ``l3_size / cores``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.ir.types import AddressSpace
+from repro.perf.cache import CacheHierarchy, SetAssocCache, collapse_consecutive
+from repro.perf.devices import CPUSpec
+from repro.runtime.trace import GroupTrace, KernelTrace
+
+_CACHED_SPACES = (AddressSpace.GLOBAL, AddressSpace.CONSTANT, AddressSpace.LOCAL)
+
+
+@dataclass
+class CPUGroupCost:
+    inst_cycles: float
+    mem_cycles: float
+    barrier_cycles: float
+    accesses: int
+    level_hits: List[int]
+    memory_misses: int
+    prefetched: int
+
+    @property
+    def cycles(self) -> float:
+        return self.inst_cycles + self.mem_cycles + self.barrier_cycles
+
+
+class CPUModel:
+    def __init__(self, spec: CPUSpec, warm_local: bool = True) -> None:
+        self.spec = spec
+        #: model the __local arena as thread-resident (cache-warm); the
+        #: ablation benchmark sets False to show why this matters
+        self.warm_local = warm_local
+
+    def _hierarchy(self) -> CacheHierarchy:
+        s = self.spec
+        levels = [
+            SetAssocCache(s.l1[0], s.l1[1], s.line_size, "L1"),
+            SetAssocCache(s.l2[0], s.l2[1], s.line_size, "L2"),
+        ]
+        if s.l3 is not None:
+            # one thread's slice of the shared LLC
+            levels.append(
+                SetAssocCache(s.l3[0] / s.cores, s.l3[1], s.line_size, "LLC")
+            )
+        return CacheHierarchy(levels)
+
+    def time_group(self, gt: GroupTrace) -> CPUGroupCost:
+        s = self.spec
+        stream = gt.serialized(_CACHED_SPACES)
+        all_lines = stream.line_ids(s.line_size)
+        hier = self._hierarchy()
+        if self.warm_local:
+            # the __local arena belongs to the executing thread and is
+            # reused across thousands of work-groups — warm, not cold
+            local_lines = np.unique(
+                all_lines[stream.spaces == int(AddressSpace.LOCAL)]
+            )
+            for lv in hier.levels:
+                for line in local_lines.tolist():
+                    lv.fill(line)
+        lines = collapse_consecutive(all_lines)
+        counts = hier.run(lines)
+
+        lat = [s.lat_l1, s.lat_l2, s.lat_l3]
+        mem_cycles = sum(h * l for h, l in zip(counts.level_hits, lat))
+        full = counts.memory - counts.prefetched
+        mem_cycles += full * s.lat_mem + counts.prefetched * s.lat_mem * s.prefetch_factor
+        mem_cycles /= s.mlp
+
+        inst_cycles = gt.inst_count / s.ipc
+        barrier_cycles = gt.barriers * gt.work_items * s.barrier_cost
+        return CPUGroupCost(
+            inst_cycles=inst_cycles,
+            mem_cycles=mem_cycles,
+            barrier_cycles=barrier_cycles,
+            accesses=len(lines),
+            level_hits=counts.level_hits,
+            memory_misses=counts.memory,
+            prefetched=counts.prefetched,
+        )
+
+    def time_kernel(self, trace: KernelTrace) -> float:
+        """Total cycle estimate for the launch (single-thread-equivalent;
+        the core count cancels in normalised comparisons)."""
+        total = sum(self.time_group(g).cycles for g in trace.groups)
+        return trace.scale * total

@@ -1,0 +1,107 @@
+"""Human-readable cost breakdowns of a kernel on a device model.
+
+Answers the question the paper's Section VI-C answers in prose: *where*
+do the cycles of each kernel version go, and which component explains
+the gap between the with/without-local-memory versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+from repro.perf.cpumodel import CPUModel
+from repro.perf.devices import CPUSpec
+from repro.runtime.trace import KernelTrace
+
+
+@dataclass
+class CostBreakdown:
+    device: str
+    cycles: float
+    inst_cycles: float
+    mem_cycles: float
+    barrier_cycles: float
+    accesses: int
+    level_hits: List[int]
+    memory_misses: int
+    prefetched: int
+
+    @property
+    def hit_rates(self) -> List[float]:
+        total = self.accesses
+        return [h / total if total else 0.0 for h in self.level_hits]
+
+    def render(self) -> str:
+        parts = [
+            f"{self.device}: {self.cycles:,.0f} cycles",
+            f"  instructions : {self.inst_cycles:12,.0f} ({self._pct(self.inst_cycles)})",
+            f"  memory       : {self.mem_cycles:12,.0f} ({self._pct(self.mem_cycles)})",
+            f"  barriers     : {self.barrier_cycles:12,.0f} ({self._pct(self.barrier_cycles)})",
+            f"  accesses     : {self.accesses:,} "
+            f"(hits per level: {self.level_hits}, misses: {self.memory_misses}, "
+            f"prefetched: {self.prefetched})",
+        ]
+        return "\n".join(parts)
+
+    def _pct(self, v: float) -> str:
+        return f"{100 * v / self.cycles:.0f}%" if self.cycles else "0%"
+
+
+def explain_kernel(trace: KernelTrace, spec: CPUSpec) -> CostBreakdown:
+    """Aggregate the per-group cost components over the sampled groups."""
+    model = CPUModel(spec)
+    inst = mem = bar = 0.0
+    accesses = misses = prefetched = 0
+    level_hits: List[int] = []
+    for g in trace.groups:
+        c = model.time_group(g)
+        inst += c.inst_cycles
+        mem += c.mem_cycles
+        bar += c.barrier_cycles
+        accesses += c.accesses
+        misses += c.memory_misses
+        prefetched += c.prefetched
+        if not level_hits:
+            level_hits = list(c.level_hits)
+        else:
+            level_hits = [a + b for a, b in zip(level_hits, c.level_hits)]
+    s = trace.scale
+    return CostBreakdown(
+        device=spec.name,
+        cycles=s * (inst + mem + bar),
+        inst_cycles=s * inst,
+        mem_cycles=s * mem,
+        barrier_cycles=s * bar,
+        accesses=int(s * accesses),
+        level_hits=[int(s * h) for h in level_hits],
+        memory_misses=int(s * misses),
+        prefetched=int(s * prefetched),
+    )
+
+
+def compare(
+    with_local: KernelTrace, without_local: KernelTrace, spec: CPUSpec
+) -> str:
+    """Side-by-side explanation of a with/without comparison."""
+    a = explain_kernel(with_local, spec)
+    b = explain_kernel(without_local, spec)
+    np_ratio = a.cycles / b.cycles if b.cycles else float("inf")
+    lines = [
+        f"with local memory:\n{a.render()}",
+        f"\nwithout local memory (Grover):\n{b.render()}",
+        f"\nnormalised performance: {np_ratio:.3f} "
+        f"({'removal wins' if np_ratio > 1 else 'local memory wins'})",
+    ]
+    deltas = {
+        "instructions": a.inst_cycles - b.inst_cycles,
+        "memory": a.mem_cycles - b.mem_cycles,
+        "barriers": a.barrier_cycles - b.barrier_cycles,
+    }
+    dominant = max(deltas, key=lambda k: abs(deltas[k]))
+    sign = "saves" if deltas[dominant] > 0 else "costs"
+    lines.append(
+        f"dominant component: removing local memory {sign} "
+        f"{abs(deltas[dominant]):,.0f} {dominant} cycles"
+    )
+    return "\n".join(lines)

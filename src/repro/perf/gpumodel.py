@@ -1,0 +1,117 @@
+"""GPU timing model: coalescing, banked scratch-pad, latency hiding.
+
+Used by the Fig. 2 motivation experiment (Fermi / Kepler / Tahiti).
+
+Per vectorised memory event the work-group is cut into warps:
+
+* **global** accesses cost one transaction per distinct ``segment``-byte
+  block touched by the warp (the coalescing rule) — an uncoalesced
+  column access explodes into ``warp_size`` transactions, which is what
+  makes Matrix Transpose without local memory catastrophic on GPUs;
+  transactions then probe the (optional) L1 and the L2;
+* **local** (scratch-pad) accesses cost the bank-conflict degree of the
+  warp: the maximum number of *distinct words* wanted from one bank.
+
+Compute cost is issue-throughput-bound; the final group cost is
+``compute + (1 - latency_hiding) * memory`` — multithreading overlaps
+most memory time with compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.ir.types import AddressSpace
+from repro.perf.cache import CacheHierarchy, SetAssocCache
+from repro.perf.devices import GPUSpec
+from repro.runtime.trace import GroupTrace, KernelTrace, MemEvent
+
+
+@dataclass
+class GPUGroupCost:
+    compute_cycles: float
+    mem_cycles: float
+    spm_cycles: float
+    transactions: int
+
+    @property
+    def cycles(self) -> float:
+        return self.compute_cycles + self.mem_cycles + self.spm_cycles
+
+
+class GPUModel:
+    def __init__(self, spec: GPUSpec) -> None:
+        self.spec = spec
+
+    def _caches(self) -> CacheHierarchy:
+        s = self.spec
+        levels = []
+        if s.global_l1:
+            levels.append(SetAssocCache(s.l1_kb, s.l1_assoc, s.line_size, "L1"))
+        levels.append(
+            SetAssocCache(s.l2_kb / s.compute_units, s.l2_assoc, s.line_size, "L2")
+        )
+        return CacheHierarchy(levels, prefetch=False)
+
+    def _warp_slices(self, ev: MemEvent) -> List[np.ndarray]:
+        w = self.spec.warp_size
+        warps = ev.lanes // w
+        out = []
+        for wi in np.unique(warps):
+            out.append(ev.offsets[warps == wi])
+        return out
+
+    def time_group(self, gt: GroupTrace) -> GPUGroupCost:
+        s = self.spec
+        caches = self._caches()
+        mem_cycles = 0.0
+        spm_cycles = 0.0
+        transactions = 0
+
+        for ev in gt.events:
+            if ev.space == AddressSpace.LOCAL:
+                for offs in self._warp_slices(ev):
+                    words = offs // 4
+                    banks = words % s.spm_banks
+                    # conflict degree: distinct words per bank (broadcast
+                    # of the same word is free)
+                    degree = 1
+                    for b in np.unique(banks):
+                        nwords = len(np.unique(words[banks == b]))
+                        if nwords > degree:
+                            degree = nwords
+                    spm_cycles += degree * s.cost_spm
+                continue
+            # global/constant: coalescing into segments
+            for offs in self._warp_slices(ev):
+                segs = np.unique(offs // s.segment)
+                transactions += len(segs)
+                for seg in segs.tolist():
+                    line = (ev.buffer_id << 40) | seg
+                    served = -1
+                    for i, lv in enumerate(caches.levels):
+                        if lv.access(line):
+                            served = i
+                            break
+                    if served < 0:
+                        mem_cycles += s.cost_mem
+                    elif s.global_l1 and served == 0:
+                        mem_cycles += s.cost_l1
+                    else:
+                        mem_cycles += s.cost_l2
+
+        compute_cycles = gt.inst_count / s.issue_width
+        hidden = 1.0 - s.latency_hiding
+        return GPUGroupCost(
+            compute_cycles=compute_cycles,
+            mem_cycles=mem_cycles * hidden,
+            spm_cycles=spm_cycles,
+            transactions=transactions,
+        )
+
+    def time_kernel(self, trace: KernelTrace) -> float:
+        total = sum(self.time_group(g).cycles for g in trace.groups)
+        return trace.scale * total

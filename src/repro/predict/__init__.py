@@ -1,0 +1,18 @@
+"""Static prediction of local-memory removal benefit (paper future work).
+
+The paper's conclusion section: "using Grover, we want to model the
+performance benefits/losses due to local memory usage on CPUs".  This
+package implements that model: a *static* analysis over the original and
+Grover-transformed kernels that predicts gain / loss / similar per
+device without executing anything — and is validated against the
+trace-driven models in the test suite.
+"""
+
+from repro.predict.analyzer import (
+    CandidateFeatures,
+    Prediction,
+    analyze_kernel,
+    predict,
+)
+
+__all__ = ["CandidateFeatures", "Prediction", "analyze_kernel", "predict"]

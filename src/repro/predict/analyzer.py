@@ -1,0 +1,329 @@
+"""The static local-memory benefit model.
+
+For a kernel and a CPU device the predictor weighs, without executing:
+
+* **removed work** — staging instructions and barrier synchronisation
+  that disappear with the local memory (estimated with loop-depth
+  weighted static instruction counts, the classic static proxy for
+  dynamic counts);
+* **replacement access risk** — for every new global load the
+  transformed kernel performs where a local load used to be, the stride
+  of its fastest-varying index symbol is computed from the affine form;
+  strides that alias into few cache sets (power-of-two row strides — the
+  paper's column-access pathology) predict a loss, as does losing the
+  barrier-induced tile blocking when the re-read footprint exceeds the
+  private caches.
+
+The verdict mirrors the paper's three-way classification.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core import GroverError, GroverPass, GroverReport
+from repro.core.affine import AffineContext
+from repro.frontend import compile_kernel
+from repro.ir.cfg import natural_loops
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    Call,
+    Cast,
+    GEP,
+    Instruction,
+    Load,
+    Store,
+    is_barrier,
+)
+from repro.ir.types import AddressSpace
+from repro.perf.devices import CPUSpec
+
+#: assumed iterations per loop level for static weighting
+LOOP_WEIGHT = 16
+
+
+def _loop_depths(fn: Function) -> Dict[object, int]:
+    depth: Dict[object, int] = {bb: 0 for bb in fn.blocks}
+    for loop in natural_loops(fn):
+        for bb in loop.body:
+            depth[bb] += 1
+    return depth
+
+
+def weighted_inst_count(fn: Function) -> float:
+    """Loop-depth-weighted static instruction count (free casts/GEPs,
+    matching the runtime's retired-instruction accounting)."""
+    depth = _loop_depths(fn)
+    total = 0.0
+    for bb in fn.blocks:
+        w = LOOP_WEIGHT ** depth.get(bb, 0)
+        n = sum(
+            0 if isinstance(i, (Cast, GEP, Alloca)) else 1 for i in bb.instructions
+        )
+        total += n * w
+    return total
+
+
+def weighted_barrier_count(fn: Function) -> float:
+    depth = _loop_depths(fn)
+    return sum(
+        LOOP_WEIGHT ** depth.get(bb, 0)
+        for bb in fn.blocks
+        for i in bb.instructions
+        if is_barrier(i)
+    )
+
+
+@dataclass
+class AccessRisk:
+    """Conflict analysis of one global load in the transformed kernel."""
+
+    stride_bytes: int
+    iterations: int
+    distinct_sets: int
+    conflicts: bool
+
+    def describe(self) -> str:
+        if self.conflicts:
+            return (
+                f"stride {self.stride_bytes}B maps {self.iterations} lines "
+                f"onto {self.distinct_sets} cache set(s): conflict thrash"
+            )
+        return f"stride {self.stride_bytes}B is cache-benign"
+
+
+def _conflict_risk(
+    stride_bytes: int,
+    iterations: int,
+    spec: CPUSpec,
+) -> AccessRisk:
+    """Would ``iterations`` accesses at ``stride_bytes`` thrash L1 sets?"""
+    line = spec.line_size
+    l1_lines = int(spec.l1[0] * 1024) // line
+    n_sets = max(1, l1_lines // spec.l1[1])
+    if stride_bytes < line:
+        return AccessRisk(stride_bytes, iterations, n_sets, False)
+    step = (stride_bytes // line) % n_sets
+    distinct = n_sets // math.gcd(n_sets, step) if step else 1
+    conflicts = iterations > distinct * spec.l1[1]
+    return AccessRisk(stride_bytes, iterations, min(distinct, iterations), conflicts)
+
+
+def _factor_value(sym, arg_values: Dict[str, int]) -> Optional[int]:
+    """Concrete value of a non-moving symbol factor, if known."""
+    if sym[0] == "arg":
+        return arg_values.get(sym[1].name)
+    if sym[0] == "lsize":
+        return arg_values.get(f"__lsize{sym[1]}")
+    return None
+
+
+def _term_stride(
+    sym, coeff: int, elem_stride: int, moving, arg_values: Dict[str, int]
+) -> Optional[int]:
+    """Byte stride contributed by one affine term when ``moving``
+    (a slot or lid symbol) advances by one.  Product terms multiply in
+    the known values of the other factors (symbolic row strides)."""
+    if sym == moving:
+        return abs(coeff) * elem_stride
+    if sym[0] == "prod" and moving in sym[1:]:
+        factor = abs(coeff) * elem_stride
+        for f in sym[1:]:
+            if f == moving:
+                continue
+            v = _factor_value(f, arg_values)
+            if v is None:
+                return None
+            factor *= abs(v)
+        return factor
+    return None
+
+
+def _innermost_stride(
+    fn: Function,
+    load: Load,
+    ctx: AffineContext,
+    arg_values: Dict[str, int],
+) -> Optional[Tuple[int, int]]:
+    """(byte stride, trip count guess) of the load's fastest-moving term.
+
+    The fastest-moving symbol is the innermost loop counter enclosing the
+    load if the index depends on it, else the x-dimension thread index
+    (work-items are serialised x-fastest on CPUs).  Symbolic row strides
+    are resolved through ``arg_values`` (the launch constants the
+    auto-tuner knows).
+    """
+    ptr = load.ptr
+    if not isinstance(ptr, GEP):
+        return None
+    strides = ptr.strides()
+    loops = natural_loops(fn)
+    enclosing = [l for l in loops if load.parent in l.body]
+    inner_slots = set()
+    if enclosing:
+        innermost = min(enclosing, key=lambda l: len(l.body))
+        for bb in innermost.body:
+            for i in bb.instructions:
+                if isinstance(i, Store) and isinstance(i.ptr, Alloca):
+                    inner_slots.add(i.ptr)
+
+    movers = [("slot", s) for s in inner_slots] + [("lid", 0)]
+    best: Optional[Tuple[int, int]] = None
+    for idx, elem_stride in zip(ptr.indices, strides):
+        e = ctx.to_linexpr(idx)
+        for mover in movers:
+            total = 0
+            found = False
+            for sym, coeff in e.terms.items():
+                if coeff.denominator != 1:
+                    continue
+                s = _term_stride(sym, int(coeff), elem_stride, mover, arg_values)
+                if s is not None:
+                    total += s
+                    found = True
+            if found:
+                cand = (total, LOOP_WEIGHT)
+                if mover[0] == "slot":
+                    return cand  # the inner loop counter wins outright
+                best = best or cand
+    return best
+
+
+@dataclass
+class CandidateFeatures:
+    array: str
+    #: fraction of (weighted) work removed with the staging + barriers
+    removed_work_frac: float
+    barrier_frac: float
+    risks: List[AccessRisk] = field(default_factory=list)
+
+    @property
+    def conflict(self) -> bool:
+        return any(r.conflicts for r in self.risks)
+
+
+@dataclass
+class Prediction:
+    device: str
+    verdict: str                      # 'gain' | 'loss' | 'similar'
+    score: float                      # >0 leans gain, <0 leans loss
+    features: List[CandidateFeatures]
+    reasons: List[str]
+    report: Optional[GroverReport] = None
+
+    def __str__(self) -> str:
+        lines = [f"prediction[{self.device}]: {self.verdict} (score {self.score:+.3f})"]
+        lines += [f"  - {r}" for r in self.reasons]
+        return "\n".join(lines)
+
+
+def analyze_kernel(
+    source: str,
+    kernel_name: Optional[str] = None,
+    defines: Optional[Dict[str, object]] = None,
+    arrays: Optional[List[str]] = None,
+    spec: Optional[CPUSpec] = None,
+) -> Tuple[Function, Function, GroverReport]:
+    """Compile the kernel twice and transform one copy."""
+    original = compile_kernel(source, kernel_name, defines=defines)
+    transformed = compile_kernel(source, kernel_name, defines=defines)
+    report = GroverPass(arrays=arrays).run(transformed)
+    return original, transformed, report
+
+
+#: verdict thresholds on the score
+_GAIN_T = 0.04
+_LOSS_T = -0.04
+
+
+def predict(
+    source: str,
+    device: CPUSpec,
+    kernel_name: Optional[str] = None,
+    defines: Optional[Dict[str, object]] = None,
+    arrays: Optional[List[str]] = None,
+    arg_values: Optional[Dict[str, int]] = None,
+) -> Prediction:
+    """Predict the effect of disabling local memory on ``device``.
+
+    Raises :class:`~repro.core.GroverError` when the kernel cannot be
+    transformed at all (no prediction to make).
+    """
+    original, transformed, report = analyze_kernel(
+        source, kernel_name, defines, arrays
+    )
+    arg_values = arg_values or {}
+    reasons: List[str] = []
+
+    w_orig = weighted_inst_count(original)
+    w_new = weighted_inst_count(transformed)
+    b_orig = weighted_barrier_count(original)
+    b_new = weighted_barrier_count(transformed)
+
+    # instruction-side effect (positive = removal saves work)
+    inst_gain = (w_orig - w_new) / max(w_orig, 1.0)
+    barrier_gain = (
+        (b_orig - b_new) * device.barrier_cost / max(w_orig / device.ipc, 1.0)
+    )
+    # instructions are not the only cycles (memory overlaps them); cap the
+    # relative weight of removed synchronisation
+    barrier_gain = min(barrier_gain, 0.5)
+
+    # access risks of the new global loads
+    ctx = AffineContext(transformed)
+    feats: List[CandidateFeatures] = []
+    conflict_penalty = 0.0
+    for rec in report.transformed:
+        risks = []
+        for inst in transformed.instructions():
+            if (
+                isinstance(inst, Load)
+                and inst.addrspace in (AddressSpace.GLOBAL, AddressSpace.CONSTANT)
+                and inst.name.startswith(f"nGL_{rec.name}")
+            ):
+                st = _innermost_stride(transformed, inst, ctx, arg_values)
+                if st is None:
+                    continue
+                risk = _conflict_risk(st[0], st[1], device)
+                risks.append(risk)
+                if risk.conflicts:
+                    conflict_penalty += 0.25
+                    reasons.append(f"{rec.name}: {risk.describe()}")
+        feats.append(
+            CandidateFeatures(
+                array=rec.name,
+                removed_work_frac=inst_gain,
+                barrier_frac=barrier_gain,
+                risks=risks,
+            )
+        )
+
+    if inst_gain > 0.02:
+        reasons.append(
+            f"staging removal saves ~{inst_gain:.0%} of weighted instructions"
+        )
+    if barrier_gain > 0.02:
+        reasons.append(
+            f"{int(b_orig - b_new)} weighted barrier crossing(s) removed"
+        )
+    if not reasons:
+        reasons.append("no dominant effect found")
+
+    score = inst_gain + barrier_gain - conflict_penalty
+    if score > _GAIN_T:
+        verdict = "gain"
+    elif score < _LOSS_T:
+        verdict = "loss"
+    else:
+        verdict = "similar"
+    return Prediction(
+        device=device.name,
+        verdict=verdict,
+        score=score,
+        features=feats,
+        reasons=reasons,
+        report=report,
+    )

@@ -1,0 +1,31 @@
+"""OpenCL platform-model runtime: buffers + NDRange SIMT interpreter.
+
+This is the substitute for a vendor OpenCL runtime.  It executes IR
+kernels over an NDRange exactly per the OpenCL execution model —
+work-groups of work-items, ``__local`` memory shared per group, barrier
+synchronisation — and optionally records the memory trace that the
+performance models in :mod:`repro.perf` consume.
+
+Work-items of one work-group are interpreted together, numpy-vectorised
+("SIMT"): every IR instruction evaluates to an array over the group's
+work-items.  Divergent control flow is handled with lane masks and
+reverse-post-order block scheduling, which reconverges masks at CFG join
+points for reducible control flow.
+"""
+
+from repro.runtime.buffers import Buffer, Memory
+from repro.runtime.errors import BarrierDivergenceError, RuntimeLaunchError
+from repro.runtime.ndrange import LaunchResult, launch
+from repro.runtime.trace import KernelTrace, GroupTrace, MemEvent
+
+__all__ = [
+    "Buffer",
+    "Memory",
+    "BarrierDivergenceError",
+    "RuntimeLaunchError",
+    "LaunchResult",
+    "launch",
+    "KernelTrace",
+    "GroupTrace",
+    "MemEvent",
+]

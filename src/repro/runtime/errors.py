@@ -1,0 +1,17 @@
+"""Runtime diagnostics."""
+
+
+class RuntimeLaunchError(Exception):
+    """Bad launch configuration or kernel argument binding."""
+
+
+class BarrierDivergenceError(Exception):
+    """A barrier was reached by only a subset of a work-group's work-items.
+
+    This is undefined behaviour in OpenCL; the interpreter reports it
+    instead of hanging like real hardware would.
+    """
+
+
+class MemoryFault(Exception):
+    """An access outside any allocated buffer."""

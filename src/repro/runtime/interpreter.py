@@ -1,0 +1,450 @@
+"""The SIMT work-group interpreter.
+
+One :class:`GroupExecutor` runs one work-group.  Every IR value evaluates
+to a numpy array over the group's work-items (the "lanes"), so the
+interpreter's inner loop is a loop over *instructions*, not work-items —
+the per-element work is vectorised, per the scientific-Python guidance.
+
+Divergent control flow uses lane masks.  Pending blocks are scheduled in
+reverse post-order (successors visited false-edge-first when computing
+the order), which makes masks reconverge at join points and lets loops
+drain fully before their exit blocks run — the property the barrier
+check relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CastKind,
+    CmpPred,
+    CondBr,
+    ExtractElement,
+    FCmp,
+    GEP,
+    ICmp,
+    InsertElement,
+    Instruction,
+    Load,
+    Opcode,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.types import (
+    AddressSpace,
+    ArrayType,
+    BoolType,
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    VectorType,
+)
+from repro.ir.values import Argument, Constant, LocalArray, Value
+from repro.runtime.buffers import Buffer, Memory
+from repro.runtime.builtins import WORK_ITEM_QUERIES, WorkItemContext, eval_builtin
+from repro.runtime.errors import BarrierDivergenceError, RuntimeLaunchError
+from repro.runtime.trace import GroupTrace, MemEvent
+
+
+def _reverse_postorder(fn: Function) -> Dict[BasicBlock, int]:
+    """RPO with successors visited in reverse (false edge first).
+
+    This ordering places loop bodies before loop exits, so min-RPO
+    scheduling drains a loop completely before running its exit block.
+    """
+    seen = set()
+    post: List[BasicBlock] = []
+
+    def visit(bb: BasicBlock) -> None:
+        seen.add(bb)
+        for succ in reversed(bb.successors()):
+            if succ not in seen:
+                visit(succ)
+        post.append(bb)
+
+    visit(fn.entry)
+    return {bb: i for i, bb in enumerate(reversed(post))}
+
+
+def _np_type(ty: Type) -> np.dtype:
+    if isinstance(ty, (IntType, FloatType)):
+        return ty.numpy_dtype
+    if isinstance(ty, BoolType):
+        return np.dtype(bool)
+    if isinstance(ty, PointerType):
+        return np.dtype(np.int64)
+    raise TypeError(f"no runtime dtype for {ty}")
+
+
+class GroupExecutor:
+    """Executes one work-group of a kernel launch."""
+
+    def __init__(
+        self,
+        fn: Function,
+        ctx: WorkItemContext,
+        memory: Memory,
+        arg_values: Dict[Argument, object],
+        local_buffers: Dict[LocalArray, Buffer],
+        local_arg_buffers: Dict[Argument, Buffer],
+        trace: Optional[GroupTrace] = None,
+    ) -> None:
+        self.fn = fn
+        self.ctx = ctx
+        self.memory = memory
+        self.trace = trace
+        self.n = ctx.n_lanes
+        self.values: Dict[Value, np.ndarray] = {}
+        self.slots: Dict[Alloca, np.ndarray] = {}
+        self.phase = 0
+        self.alive = np.ones(self.n, dtype=bool)
+        self.rpo = _reverse_postorder(fn)
+        self._lane_ids = np.arange(self.n, dtype=np.int64)
+        #: buffers allocated for private arrays; freed by the launcher
+        self.private_buffers: List[Buffer] = []
+        #: retired-instruction weight per block (casts and GEPs fold into
+        #: addressing modes on real ISAs and are not counted)
+        self._block_weight: Dict[BasicBlock, int] = {
+            bb: sum(
+                0 if isinstance(i, (Cast, GEP, Alloca)) else 1
+                for i in bb.instructions
+            )
+            for bb in fn.blocks
+        }
+
+        for arg, v in arg_values.items():
+            if isinstance(v, Buffer):
+                self.values[arg] = np.full(self.n, v.base_addr, dtype=np.int64)
+            else:
+                dt = _np_type(arg.type)
+                self.values[arg] = np.full(self.n, v, dtype=dt)
+        for arg, buf in local_arg_buffers.items():
+            self.values[arg] = np.full(self.n, buf.base_addr, dtype=np.int64)
+        for la, buf in local_buffers.items():
+            self.values[la] = np.full(self.n, buf.base_addr, dtype=np.int64)
+
+    # -- value access ----------------------------------------------------------
+    def get(self, v: Value) -> np.ndarray:
+        if isinstance(v, Constant):
+            ty = v.type
+            if isinstance(ty, BoolType):
+                return np.full(self.n, bool(v.value))
+            return np.full(self.n, v.value, dtype=_np_type(ty))
+        return self.values[v]
+
+    # -- main loop ---------------------------------------------------------------
+    def run(self) -> None:
+        pending: Dict[BasicBlock, np.ndarray] = {self.fn.entry: self.alive.copy()}
+        rpo = self.rpo
+        while pending:
+            bb = min(pending, key=lambda b: rpo.get(b, 1 << 30))
+            mask = pending.pop(bb) & self.alive
+            if not mask.any():
+                continue
+            out = self.exec_block(bb, mask)
+            for succ, m in out:
+                if succ in pending:
+                    pending[succ] = pending[succ] | m
+                elif m.any():
+                    pending[succ] = m
+
+    def exec_block(self, bb: BasicBlock, mask: np.ndarray):
+        if self.trace is not None:
+            self.trace.inst_count += self._block_weight[bb] * int(mask.sum())
+        for inst in bb.instructions:
+            if inst.is_terminator:
+                return self.exec_terminator(inst, mask)
+            self.exec_inst(inst, mask)
+        raise RuntimeLaunchError(f"block {bb.name} has no terminator")
+
+    def exec_terminator(self, inst: Instruction, mask: np.ndarray):
+        if isinstance(inst, Br):
+            return [(inst.target, mask)]
+        if isinstance(inst, CondBr):
+            cond = self.get(inst.cond)
+            t = mask & cond
+            f = mask & ~cond
+            return [(inst.if_true, t), (inst.if_false, f)]
+        if isinstance(inst, Ret):
+            self.alive &= ~mask
+            return []
+        raise RuntimeLaunchError(f"unknown terminator {inst!r}")
+
+    # -- per-instruction evaluation -------------------------------------------------
+    def exec_inst(self, inst: Instruction, mask: np.ndarray) -> None:
+        if isinstance(inst, BinOp):
+            self.values[inst] = self._binop(inst)
+        elif isinstance(inst, (ICmp, FCmp)):
+            self.values[inst] = self._cmp(inst)
+        elif isinstance(inst, Load):
+            self.values[inst] = self._load(inst, mask)
+        elif isinstance(inst, Store):
+            self._store(inst, mask)
+        elif isinstance(inst, GEP):
+            self.values[inst] = self._gep(inst)
+        elif isinstance(inst, Call):
+            self._call(inst, mask)
+        elif isinstance(inst, Cast):
+            self.values[inst] = self._cast(inst)
+        elif isinstance(inst, Select):
+            c, t, f = (self.get(o) for o in inst.operands)
+            if t.ndim == 2:
+                c = c[:, None]
+            self.values[inst] = np.where(c, t, f)
+        elif isinstance(inst, Alloca):
+            self._alloca(inst)
+        elif isinstance(inst, ExtractElement):
+            vec = self.get(inst.vec)
+            idx = inst.index
+            if isinstance(idx, Constant):
+                self.values[inst] = vec[:, int(idx.value)]
+            else:
+                iv = self.get(idx)
+                self.values[inst] = np.take_along_axis(vec, iv[:, None], axis=1)[:, 0]
+        elif isinstance(inst, InsertElement):
+            vec = self.get(inst.vec).copy()
+            val = self.get(inst.value)
+            idx = inst.index
+            if isinstance(idx, Constant):
+                vec[:, int(idx.value)] = val
+            else:
+                iv = self.get(idx)
+                np.put_along_axis(vec, iv[:, None], val[:, None], axis=1)
+            self.values[inst] = vec
+        else:  # pragma: no cover
+            raise RuntimeLaunchError(f"cannot execute {type(inst).__name__}")
+
+    # -- arithmetic ----------------------------------------------------------------
+    def _binop(self, inst: BinOp) -> np.ndarray:
+        a = self.get(inst.lhs)
+        b = self.get(inst.rhs)
+        op = inst.opcode
+        with np.errstate(all="ignore"):
+            if op in (Opcode.ADD, Opcode.FADD):
+                return a + b
+            if op in (Opcode.SUB, Opcode.FSUB):
+                return a - b
+            if op in (Opcode.MUL, Opcode.FMUL):
+                return a * b
+            if op == Opcode.FDIV:
+                return a / b
+            if op in (Opcode.SDIV, Opcode.UDIV):
+                return self._int_div(a, b, inst.type)
+            if op in (Opcode.SREM, Opcode.UREM):
+                q = self._int_div(a, b, inst.type)
+                return a - q * b
+            if op == Opcode.AND:
+                return a & b
+            if op == Opcode.OR:
+                return a | b
+            if op == Opcode.XOR:
+                if a.dtype == bool:
+                    return a ^ b
+                return a ^ b.astype(a.dtype)
+            if op == Opcode.SHL:
+                return a << (b & (a.dtype.itemsize * 8 - 1))
+            if op == Opcode.ASHR:
+                return a >> (b & (a.dtype.itemsize * 8 - 1))
+            if op == Opcode.LSHR:
+                udt = np.dtype(f"u{a.dtype.itemsize}")
+                return (a.view(udt) >> (b & (a.dtype.itemsize * 8 - 1)).view(udt)).view(
+                    a.dtype
+                )
+        raise RuntimeLaunchError(f"unknown opcode {op}")  # pragma: no cover
+
+    @staticmethod
+    def _int_div(a: np.ndarray, b: np.ndarray, ty: Type) -> np.ndarray:
+        """C-style truncating integer division (numpy // floors)."""
+        safe_b = np.where(b == 0, 1, b)
+        q = a // safe_b
+        r = a - q * safe_b
+        adjust = (r != 0) & ((a < 0) != (safe_b < 0))
+        return (q + adjust).astype(a.dtype)
+
+    def _cmp(self, inst) -> np.ndarray:
+        a = self.get(inst.operands[0])
+        b = self.get(inst.operands[1])
+        pred = inst.pred
+        if pred in (CmpPred.ULT, CmpPred.ULE, CmpPred.UGT, CmpPred.UGE):
+            udt = np.dtype(f"u{a.dtype.itemsize}")
+            a = a.view(udt)
+            b = b.view(udt)
+        with np.errstate(invalid="ignore"):
+            if pred in (CmpPred.EQ, CmpPred.OEQ):
+                return a == b
+            if pred in (CmpPred.NE, CmpPred.ONE):
+                return a != b
+            if pred in (CmpPred.SLT, CmpPred.ULT, CmpPred.OLT):
+                return a < b
+            if pred in (CmpPred.SLE, CmpPred.ULE, CmpPred.OLE):
+                return a <= b
+            if pred in (CmpPred.SGT, CmpPred.UGT, CmpPred.OGT):
+                return a > b
+            if pred in (CmpPred.SGE, CmpPred.UGE, CmpPred.OGE):
+                return a >= b
+        raise RuntimeLaunchError(f"unknown predicate {pred}")  # pragma: no cover
+
+    def _cast(self, inst: Cast) -> np.ndarray:
+        v = self.get(inst.value)
+        kind = inst.kind
+        ty = inst.type
+        if kind == CastKind.BITCAST:
+            if isinstance(ty, PointerType):
+                return v  # pointer bitcasts keep the encoded address
+            dt = _np_type(ty)
+            if v.dtype.itemsize == dt.itemsize:
+                return v.view(dt)
+            return v.astype(dt)
+        if kind in (CastKind.TRUNC, CastKind.SEXT, CastKind.ZEXT):
+            src_ty = inst.value.type
+            if kind == CastKind.ZEXT and isinstance(src_ty, IntType) and src_ty.signed:
+                v = v.view(np.dtype(f"u{v.dtype.itemsize}"))
+            return v.astype(_np_type(ty))
+        if kind in (CastKind.SITOFP, CastKind.UITOFP, CastKind.FPEXT, CastKind.FPTRUNC):
+            return v.astype(_np_type(ty))
+        if kind in (CastKind.FPTOSI, CastKind.FPTOUI):
+            with np.errstate(all="ignore"):
+                return np.trunc(v).astype(_np_type(ty))
+        if kind == CastKind.BOOL_TO_INT:
+            return v.astype(_np_type(ty))
+        if kind == CastKind.INT_TO_BOOL:
+            return v != 0
+        raise RuntimeLaunchError(f"unknown cast {kind}")  # pragma: no cover
+
+    # -- memory ---------------------------------------------------------------------
+    def _alloca(self, inst: Alloca) -> None:
+        ty = inst.allocated_type
+        if isinstance(ty, ArrayType):
+            # real per-work-item memory (addressable with GEP)
+            size = ty.size
+            buf = self.memory.alloc(size * self.n, f"private:{inst.name or inst.id}")
+            self.private_buffers.append(buf)
+            self.values[inst] = buf.base_addr + self._lane_ids * size
+            return
+        if isinstance(ty, VectorType):
+            self.slots[inst] = np.zeros((self.n, ty.count), dtype=ty.element.numpy_dtype)
+        else:
+            self.slots[inst] = np.zeros(self.n, dtype=_np_type(ty))
+        self.values[inst] = None  # register-allocated slot; loads special-cased
+
+    def _gep(self, inst: GEP) -> np.ndarray:
+        addr = self.get(inst.base)
+        strides = inst.strides()
+        out = addr.astype(np.int64, copy=True)
+        for idx, stride in zip(inst.indices, strides):
+            iv = self.get(idx)
+            out += iv.astype(np.int64) * stride
+        return out
+
+    def _slot_for(self, ptr: Value) -> Optional[np.ndarray]:
+        if isinstance(ptr, Alloca) and ptr in self.slots:
+            return self.slots[ptr]
+        return None
+
+    def _load(self, inst: Load, mask: np.ndarray) -> np.ndarray:
+        slot = self._slot_for(inst.ptr)
+        if slot is not None:
+            return slot.copy() if slot.ndim == 2 else slot.copy()
+        addrs = self.get(inst.ptr)
+        buf_id, offs = Memory.split(np.where(mask, addrs, addrs[mask.argmax()] if mask.any() else 0))
+        buf = self.memory.buffers[buf_id]
+        ty = inst.type
+        self._record(inst, buf_id, offs, mask, is_store=False)
+        if isinstance(ty, VectorType):
+            dt = ty.element.numpy_dtype
+            k = dt.itemsize
+            base = offs // k
+            lanes = np.arange(ty.count, dtype=np.int64)
+            idx = base[:, None] + lanes[None, :]
+            return buf.view(dt)[idx]
+        dt = _np_type(ty)
+        return buf.view(dt)[offs // dt.itemsize]
+
+    def _store(self, inst: Store, mask: np.ndarray) -> None:
+        value = self.get(inst.value)
+        slot = self._slot_for(inst.ptr)
+        if slot is not None:
+            if slot.ndim == 2:
+                slot[mask, :] = value[mask, :] if value.ndim == 2 else value[mask, None]
+            else:
+                slot[mask] = np.broadcast_to(value, (self.n,))[mask].astype(
+                    slot.dtype, copy=False
+                )
+            return
+        addrs = self.get(inst.ptr)
+        sel = addrs[mask]
+        if len(sel) == 0:
+            return
+        buf_id, offs = Memory.split(sel)
+        buf = self.memory.buffers[buf_id]
+        ty = inst.value.type
+        self._record(inst, buf_id, offs, mask, is_store=True, already_masked=True)
+        if isinstance(ty, VectorType):
+            dt = ty.element.numpy_dtype
+            k = dt.itemsize
+            idx = (offs // k)[:, None] + np.arange(ty.count, dtype=np.int64)[None, :]
+            buf.view(dt)[idx] = value[mask]
+            return
+        dt = _np_type(ty)
+        if dt == np.dtype(bool):
+            dt = np.dtype(np.uint8)
+            value = value.astype(np.uint8)
+        buf.view(dt)[offs // dt.itemsize] = value[mask].astype(dt, copy=False)
+
+    def _record(
+        self,
+        inst: Instruction,
+        buf_id: int,
+        offs: np.ndarray,
+        mask: np.ndarray,
+        is_store: bool,
+        already_masked: bool = False,
+    ) -> None:
+        if self.trace is None:
+            return
+        space = inst.addrspace  # type: ignore[attr-defined]
+        if space == AddressSpace.PRIVATE:
+            return  # private slots/arrays model registers/stack; not traced
+        lanes = self._lane_ids[mask]
+        offsets = offs if already_masked else offs[mask]
+        ty = inst.type if isinstance(inst, Load) else inst.value.type  # type: ignore[attr-defined]
+        self.trace.events.append(
+            MemEvent(
+                space=space,
+                is_store=is_store,
+                buffer_id=buf_id,
+                offsets=offsets.copy(),
+                lanes=lanes.copy(),
+                elem_size=ty.size,
+                phase=self.phase,
+                inst_id=inst.id,
+            )
+        )
+
+    # -- calls ------------------------------------------------------------------------
+    def _call(self, inst: Call, mask: np.ndarray) -> None:
+        if inst.callee == "barrier":
+            if not np.array_equal(mask, self.alive):
+                raise BarrierDivergenceError(
+                    f"barrier in {self.fn.name} reached by "
+                    f"{int(mask.sum())}/{int(self.alive.sum())} live work-items"
+                )
+            self.phase += 1
+            if self.trace is not None:
+                self.trace.barriers += 1
+            return
+        if inst.callee in ("mem_fence", "printf"):
+            return
+        args = [self.get(a) for a in inst.args]
+        self.values[inst] = eval_builtin(inst, args, self.ctx)

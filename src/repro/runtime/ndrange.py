@@ -1,0 +1,166 @@
+"""NDRange kernel launch: the host-side API of the runtime.
+
+``launch(kernel, global_size, local_size, args=...)`` plays the role of
+``clEnqueueNDRangeKernel``: it decomposes the index space into
+work-groups, allocates ``__local`` memory per group, executes every group
+through the SIMT interpreter, and (optionally) returns a
+:class:`~repro.runtime.trace.KernelTrace` for the performance models.
+
+``sample_groups`` limits tracing *and execution* to an evenly spread
+subset of work-groups — used by the performance models, which extrapolate
+from homogeneous groups (set it only when the output buffers don't
+matter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.ir.function import Function
+from repro.ir.types import AddressSpace, PointerType
+from repro.ir.values import Argument, LocalArray
+from repro.runtime.buffers import Buffer, Memory
+from repro.runtime.builtins import WorkItemContext
+from repro.runtime.errors import RuntimeLaunchError
+from repro.runtime.interpreter import GroupExecutor
+from repro.runtime.trace import GroupTrace, KernelTrace
+
+ArgValue = Union[Buffer, int, float, bool]
+
+
+@dataclass
+class LaunchResult:
+    trace: Optional[KernelTrace]
+    groups_executed: int
+    work_items: int
+
+
+def _normalize(size: Sequence[int]) -> Tuple[int, ...]:
+    t = tuple(int(s) for s in size)
+    if not 1 <= len(t) <= 3 or any(s <= 0 for s in t):
+        raise RuntimeLaunchError(f"bad NDRange size {size}")
+    return t
+
+
+def launch(
+    kernel: Function,
+    global_size: Sequence[int],
+    local_size: Sequence[int],
+    args: Dict[str, ArgValue],
+    memory: Optional[Memory] = None,
+    local_arg_sizes: Optional[Dict[str, int]] = None,
+    collect_trace: bool = False,
+    sample_groups: Optional[int] = None,
+) -> LaunchResult:
+    """Execute ``kernel`` over the NDRange.
+
+    ``args`` maps kernel parameter names to :class:`Buffer` objects
+    (pointer parameters) or python scalars.  ``local_arg_sizes`` gives
+    byte sizes for ``__local`` *pointer parameters* (dynamic local
+    memory, set on real OpenCL via ``clSetKernelArg(..., NULL)``).
+    """
+    if not kernel.is_kernel:
+        raise RuntimeLaunchError(f"{kernel.name} is not a kernel")
+    gsize = _normalize(global_size)
+    lsize = _normalize(local_size)
+    if len(gsize) != len(lsize):
+        raise RuntimeLaunchError("global/local dimensionality mismatch")
+    for g, l in zip(gsize, lsize):
+        if g % l:
+            raise RuntimeLaunchError(
+                f"global size {gsize} not divisible by local size {lsize}"
+            )
+
+    if memory is None:
+        # infer the memory registry from the first buffer argument
+        for v in args.values():
+            if isinstance(v, Buffer):
+                memory = v.mem
+                break
+        else:
+            memory = Memory()
+
+    # bind arguments
+    arg_values: Dict[Argument, ArgValue] = {}
+    local_ptr_args = []
+    for a in kernel.args:
+        if a.name not in args:
+            if (
+                isinstance(a.type, PointerType)
+                and a.type.addrspace == AddressSpace.LOCAL
+            ):
+                local_ptr_args.append(a)
+                continue
+            raise RuntimeLaunchError(f"missing kernel argument {a.name!r}")
+        v = args[a.name]
+        if isinstance(a.type, PointerType):
+            if a.type.addrspace == AddressSpace.LOCAL:
+                local_ptr_args.append(a)
+                continue
+            if not isinstance(v, Buffer):
+                raise RuntimeLaunchError(f"argument {a.name!r} needs a Buffer")
+        arg_values[a] = v
+    unknown = set(args) - {a.name for a in kernel.args}
+    if unknown:
+        raise RuntimeLaunchError(f"unknown kernel arguments: {sorted(unknown)}")
+    for a in local_ptr_args:
+        if not local_arg_sizes or a.name not in local_arg_sizes:
+            raise RuntimeLaunchError(
+                f"__local pointer argument {a.name!r} needs an entry in local_arg_sizes"
+            )
+
+    ndim = len(gsize)
+    groups_per_dim = tuple(gsize[d] // lsize[d] for d in range(ndim))
+    total_groups = int(np.prod(groups_per_dim))
+
+    # which groups to execute
+    if sample_groups is not None and sample_groups < total_groups:
+        picks = np.unique(
+            np.linspace(0, total_groups - 1, sample_groups).round().astype(int)
+        )
+    else:
+        picks = np.arange(total_groups)
+
+    group_traces = []
+    work_items = 0
+    for flat in picks:
+        gid = []
+        rem = int(flat)
+        for d in range(ndim):
+            gid.append(rem % groups_per_dim[d])
+            rem //= groups_per_dim[d]
+        gid_t = tuple(gid)
+
+        ctx = WorkItemContext(gid_t, lsize, gsize)
+        work_items += ctx.n_lanes
+
+        local_buffers = {
+            la: memory.alloc(la.nbytes, f"local:{la.name}") for la in kernel.local_arrays
+        }
+        local_arg_buffers = {
+            a: memory.alloc(local_arg_sizes[a.name], f"local:{a.name}")
+            for a in local_ptr_args
+        }
+
+        gt = GroupTrace(gid_t, ctx.n_lanes) if collect_trace else None
+        ex = GroupExecutor(
+            kernel, ctx, memory, arg_values, local_buffers, local_arg_buffers, gt
+        )
+        ex.run()
+        if gt is not None:
+            group_traces.append(gt)
+
+        for buf in local_buffers.values():
+            memory.free(buf)
+        for buf in local_arg_buffers.values():
+            memory.free(buf)
+        for buf in ex.private_buffers:
+            memory.free(buf)
+
+    trace = (
+        KernelTrace(group_traces, total_groups, lsize, gsize) if collect_trace else None
+    )
+    return LaunchResult(trace=trace, groups_executed=len(picks), work_items=work_items)

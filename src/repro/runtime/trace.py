@@ -1,0 +1,135 @@
+"""Memory traces emitted by the interpreter, consumed by ``repro.perf``.
+
+A trace is organised the way the devices consume it:
+
+* events carry the *per-work-item* byte offsets of one vectorised access
+  (that is a warp/wavefront-shaped view — what the GPU coalescing model
+  needs);
+* each event is stamped with the *barrier phase* it occurred in, so the
+  CPU model can re-serialise the access stream the way CPU OpenCL
+  runtimes execute a work-group (a loop over work-items *between
+  barriers*, per Intel's/Twin Peaks' execution scheme cited in the
+  paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ir.types import AddressSpace
+
+
+@dataclass
+class MemEvent:
+    """One vectorised memory access by a work-group."""
+
+    space: AddressSpace
+    is_store: bool
+    buffer_id: int
+    #: byte offsets within the buffer, one per active lane
+    offsets: np.ndarray
+    #: flat local ids of the active lanes (same length as offsets)
+    lanes: np.ndarray
+    elem_size: int
+    #: barrier phase index within the work-group execution
+    phase: int
+    inst_id: int
+
+    @property
+    def count(self) -> int:
+        return len(self.offsets)
+
+
+@dataclass
+class GroupTrace:
+    """Everything one work-group did."""
+
+    group_id: Tuple[int, ...]
+    work_items: int
+    events: List[MemEvent] = field(default_factory=list)
+    #: dynamic instruction count summed over work-items
+    inst_count: int = 0
+    barriers: int = 0
+
+    def accesses(self, space: Optional[AddressSpace] = None) -> int:
+        return sum(e.count for e in self.events if space is None or e.space == space)
+
+    def serialized(self, spaces: Tuple[AddressSpace, ...]) -> "SerializedStream":
+        """Re-serialise events the way a CPU runtime executes the group.
+
+        Between consecutive barriers, work-items run to completion one
+        after another; so the per-lane sub-streams of each phase are
+        concatenated lane-major.  Returns arrays of (line-addressable)
+        byte offsets, buffer ids, sizes and store flags in that order.
+        """
+        sel = [e for e in self.events if e.space in spaces]
+        if not sel:
+            empty64 = np.empty(0, np.int64)
+            return SerializedStream(
+                empty64, empty64.copy(), np.empty(0, np.int32),
+                np.empty(0, bool), np.empty(0, np.int8),
+            )
+        offs = np.concatenate([e.offsets for e in sel])
+        lanes = np.concatenate([e.lanes for e in sel])
+        bufs = np.concatenate([np.full(e.count, e.buffer_id, np.int64) for e in sel])
+        sizes = np.concatenate([np.full(e.count, e.elem_size, np.int32) for e in sel])
+        stores = np.concatenate([np.full(e.count, e.is_store, bool) for e in sel])
+        spc = np.concatenate(
+            [np.full(e.count, int(e.space), np.int8) for e in sel]
+        )
+        phases = np.concatenate([np.full(e.count, e.phase, np.int64) for e in sel])
+        # stable sort by (phase, lane) keeps program order within each
+        # lane's phase sub-stream
+        order = np.lexsort((lanes, phases))
+        return SerializedStream(
+            offs[order].astype(np.int64),
+            bufs[order],
+            sizes[order],
+            stores[order],
+            spc[order],
+        )
+
+
+@dataclass
+class SerializedStream:
+    offsets: np.ndarray
+    buffer_ids: np.ndarray
+    sizes: np.ndarray
+    stores: np.ndarray
+    spaces: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+    def line_ids(self, line_size: int) -> np.ndarray:
+        """Globally-unique cache line ids for every access."""
+        return (self.buffer_ids << 40) | (self.offsets // line_size)
+
+
+@dataclass
+class KernelTrace:
+    """Trace of a launch; may cover only a sample of the work-groups."""
+
+    groups: List[GroupTrace]
+    total_groups: int
+    local_size: Tuple[int, ...]
+    global_size: Tuple[int, ...]
+
+    @property
+    def sampled_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def scale(self) -> float:
+        """Multiplier extrapolating sampled groups to the full launch."""
+        return self.total_groups / max(1, len(self.groups))
+
+    def total_inst_count(self) -> float:
+        return self.scale * sum(g.inst_count for g in self.groups)
+
+    def iter_events(self) -> Iterator[MemEvent]:
+        for g in self.groups:
+            yield from g.events

@@ -1,0 +1,110 @@
+"""Shared fixtures and kernel-source helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_kernel
+from repro.runtime import Memory, launch
+
+#: the paper's Fig. 1(a) kernel — used all over the suite
+MT_SOURCE = r"""
+#define S 16
+__kernel void transpose(__global float* out, __global const float* in,
+                        int W, int H)
+{
+    __local float lm[S][S];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int wx = get_group_id(0);
+    int wy = get_group_id(1);
+    lm[ly][lx] = in[(wx*S + ly)*W + (wy*S + lx)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float val = lm[lx][ly];
+    out[get_global_id(1)*H + get_global_id(0)] = val;
+}
+"""
+
+#: flat-local-array tiled matmul (NVIDIA SDK style)
+MM_SOURCE = r"""
+#define BS 16
+__kernel void matrixMul(__global float* C, __global float* A,
+                        __global float* B, int wA, int wB)
+{
+    __local float As[BS*BS];
+    __local float Bs[BS*BS];
+    int tx = get_local_id(0);
+    int ty = get_local_id(1);
+    float acc = 0.0f;
+    for (int t = 0; t < wA / BS; ++t) {
+        As[ty*BS + tx] = A[(get_group_id(1)*BS + ty)*wA + (t*BS + tx)];
+        Bs[ty*BS + tx] = B[(t*BS + ty)*wB + (get_group_id(0)*BS + tx)];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int k = 0; k < BS; ++k)
+            acc += As[ty*BS + k] * Bs[k*BS + tx];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    C[get_global_id(1)*wB + get_global_id(0)] = acc;
+}
+"""
+
+#: a reduction — the pattern Grover must reject (Section VI-D)
+REDUCTION_SOURCE = r"""
+__kernel void reduceSum(__global float* out, __global const float* in)
+{
+    __local float sm[64];
+    int li = get_local_id(0);
+    sm[li] = in[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int s = 32; s > 0; s = s >> 1) {
+        if (li < s)
+            sm[li] = sm[li] + sm[li + s];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (li == 0)
+        out[get_group_id(0)] = sm[0];
+}
+"""
+
+
+def run_scalar_kernel(source, args_spec, global_size, local_size, outs,
+                      kernel_name=None, defines=None):
+    """Compile + launch helper: ``args_spec`` maps names to arrays or
+    scalars; ``outs`` maps output names to (dtype, shape).  Returns the
+    kernel function and a dict of output arrays."""
+    kernel = compile_kernel(source, kernel_name, defines=defines)
+    return execute_kernel(kernel, args_spec, global_size, local_size, outs)
+
+
+def execute_kernel(kernel, args_spec, global_size, local_size, outs):
+    mem = Memory()
+    args = {}
+    bufs = {}
+    for name, v in args_spec.items():
+        if isinstance(v, np.ndarray):
+            bufs[name] = mem.from_array(v, name)
+            args[name] = bufs[name]
+        else:
+            args[name] = v
+    for name, (dtype, shape) in outs.items():
+        if name not in bufs:
+            nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+            bufs[name] = mem.alloc(nbytes, name)
+            args[name] = bufs[name]
+    launch(kernel, global_size, local_size, args, memory=mem)
+    results = {
+        name: bufs[name].read(np.dtype(dtype), int(np.prod(shape))).reshape(shape)
+        for name, (dtype, shape) in outs.items()
+    }
+    return kernel, results
+
+
+@pytest.fixture
+def mt_kernel():
+    return compile_kernel(MT_SOURCE)
+
+
+@pytest.fixture
+def mm_kernel():
+    return compile_kernel(MM_SOURCE)

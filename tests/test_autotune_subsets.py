@@ -1,0 +1,107 @@
+"""Tests for the subset tuner (the paper's auto-tuning framework)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.autotune import (
+    autotune_subsets,
+    removable_arrays,
+    specialize_per_platform,
+)
+
+from tests.conftest import MM_SOURCE, MT_SOURCE, REDUCTION_SOURCE
+
+
+def mm_inputs(m=32, k=64, n=64):
+    rng = np.random.default_rng(9)
+    return {
+        "A": rng.random((m, k), dtype=np.float32),
+        "B": rng.random((k, n), dtype=np.float32),
+        "C": np.zeros((m, n), dtype=np.float32),
+        "wA": k,
+        "wB": n,
+    }, (n, m)
+
+
+class TestRemovableArrays:
+    def test_mm_has_two(self):
+        assert removable_arrays(MM_SOURCE) == ["As", "Bs"]
+
+    def test_mt_has_one(self):
+        assert removable_arrays(MT_SOURCE) == ["lm"]
+
+    def test_reduction_has_none(self):
+        assert removable_arrays(REDUCTION_SOURCE) == []
+
+
+class TestSubsetTuning:
+    def test_enumerates_power_set(self):
+        inputs, gsize = mm_inputs()
+        res = autotune_subsets(MM_SOURCE, "SNB", gsize, (16, 16), inputs)
+        labels = {v.removed for v in res.variants}
+        assert labels == {(), ("As",), ("Bs",), ("As", "Bs")}
+
+    def test_original_speedup_is_one(self):
+        inputs, gsize = mm_inputs()
+        res = autotune_subsets(MM_SOURCE, "SNB", gsize, (16, 16), inputs)
+        base = next(v for v in res.variants if v.removed == ())
+        assert base.speedup == pytest.approx(1.0)
+
+    def test_best_is_max_speedup(self):
+        inputs, gsize = mm_inputs()
+        res = autotune_subsets(MM_SOURCE, "SNB", gsize, (16, 16), inputs)
+        best = res.best
+        assert best.ok
+        assert best.speedup == max(v.speedup for v in res.variants if v.ok)
+
+    def test_gpu_keeps_local_memory_for_mt(self):
+        n = 64
+        rng = np.random.default_rng(0)
+        inputs = {
+            "in": rng.random((n, n), dtype=np.float32),
+            "out": np.zeros((n, n), dtype=np.float32),
+            "W": n,
+            "H": n,
+        }
+        res = autotune_subsets(MT_SOURCE, "Fermi", (n, n), (16, 16), inputs)
+        assert res.best.removed == ()
+
+    def test_cpu_removes_local_memory_for_mt(self):
+        n = 64
+        rng = np.random.default_rng(0)
+        inputs = {
+            "in": rng.random((n, n), dtype=np.float32),
+            "out": np.zeros((n, n), dtype=np.float32),
+            "W": n,
+            "H": n,
+        }
+        res = autotune_subsets(MT_SOURCE, "SNB", (n, n), (16, 16), inputs)
+        assert res.best.removed == ("lm",)
+
+    def test_render(self):
+        inputs, gsize = mm_inputs()
+        res = autotune_subsets(MM_SOURCE, "SNB", gsize, (16, 16), inputs)
+        text = res.render()
+        assert "(original)" in text
+        assert "As+Bs" in text
+        assert "*" in text
+
+
+class TestSpecializePerPlatform:
+    def test_multiple_devices(self):
+        n = 64
+        rng = np.random.default_rng(0)
+        inputs = {
+            "in": rng.random((n, n), dtype=np.float32),
+            "out": np.zeros((n, n), dtype=np.float32),
+            "W": n,
+            "H": n,
+        }
+        results = specialize_per_platform(
+            MT_SOURCE, ["SNB", "Fermi"], (n, n), (16, 16), inputs
+        )
+        assert set(results) == {"SNB", "Fermi"}
+        # the paper's point: the specialisation differs per platform
+        assert results["SNB"].best.removed != results["Fermi"].best.removed

@@ -1,0 +1,135 @@
+"""Coverage for the OpenCL math builtin surface."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import run_scalar_kernel
+
+
+def run_math(expr, n=16, params="", inputs=None):
+    src = f"""
+__kernel void m(__global float* out{(', ' + params) if params else ''})
+{{
+    int gid = get_global_id(0);
+    float x = (float)(gid + 1) * 0.37f;
+    out[gid] = {expr};
+}}
+"""
+    _, outs = run_scalar_kernel(src, inputs or {}, (n,), (n,), {"out": (np.float32, (n,))})
+    x = ((np.arange(n) + 1) * np.float32(0.37)).astype(np.float32)
+    return outs["out"], x
+
+
+@pytest.mark.parametrize(
+    "expr,ref",
+    [
+        ("sqrt(x)", lambda x: np.sqrt(x)),
+        ("native_sqrt(x)", lambda x: np.sqrt(x)),
+        ("rsqrt(x)", lambda x: 1 / np.sqrt(x)),
+        ("exp(x)", lambda x: np.exp(x)),
+        ("native_exp(x)", lambda x: np.exp(x)),
+        ("log(x)", lambda x: np.log(x)),
+        ("log2(x)", lambda x: np.log2(x)),
+        ("exp2(x)", lambda x: np.exp2(x)),
+        ("sin(x)", lambda x: np.sin(x)),
+        ("cos(x)", lambda x: np.cos(x)),
+        ("tan(x)", lambda x: np.tan(x)),
+        ("floor(x)", lambda x: np.floor(x)),
+        ("ceil(x)", lambda x: np.ceil(x)),
+        ("trunc(x)", lambda x: np.trunc(x)),
+        ("fabs(x - 3.0f)", lambda x: np.abs(x - 3)),
+        ("sign(x - 3.0f)", lambda x: np.sign(x - 3)),
+    ],
+)
+def test_unary_math(expr, ref):
+    got, x = run_math(expr)
+    np.testing.assert_allclose(got, ref(x).astype(np.float32), rtol=2e-5, atol=1e-6)
+
+
+@pytest.mark.parametrize(
+    "expr,ref",
+    [
+        ("fmin(x, 2.0f)", lambda x: np.minimum(x, 2)),
+        ("fmax(x, 2.0f)", lambda x: np.maximum(x, 2)),
+        ("pow(x, 2.0f)", lambda x: x**2),
+        ("fmod(x, 1.5f)", lambda x: np.fmod(x, 1.5)),
+        ("atan2(x, 2.0f)", lambda x: np.arctan2(x, 2)),
+        ("hypot(x, 3.0f)", lambda x: np.hypot(x, 3)),
+    ],
+)
+def test_binary_math(expr, ref):
+    got, x = run_math(expr)
+    np.testing.assert_allclose(got, ref(x).astype(np.float32), rtol=2e-5, atol=1e-6)
+
+
+@pytest.mark.parametrize(
+    "expr,ref",
+    [
+        ("fma(x, 2.0f, 1.0f)", lambda x: x * 2 + 1),
+        ("mad(x, 2.0f, 1.0f)", lambda x: x * 2 + 1),
+        ("clamp(x, 1.0f, 3.0f)", lambda x: np.clip(x, 1, 3)),
+        ("mix(0.0f, x, 0.25f)", lambda x: 0.25 * x),
+    ],
+)
+def test_ternary_math(expr, ref):
+    got, x = run_math(expr)
+    np.testing.assert_allclose(got, ref(x).astype(np.float32), rtol=2e-5, atol=1e-6)
+
+
+class TestIntBuiltins:
+    def test_min_max_abs(self):
+        src = """
+__kernel void m(__global int* out)
+{
+    int gid = get_global_id(0);
+    out[gid] = min(gid, 5) + max(gid, 10) + abs(gid - 8);
+}
+"""
+        _, outs = run_scalar_kernel(src, {}, (16,), (16,), {"out": (np.int32, (16,))})
+        g = np.arange(16)
+        np.testing.assert_array_equal(
+            outs["out"], np.minimum(g, 5) + np.maximum(g, 10) + np.abs(g - 8)
+        )
+
+    def test_mul24_mad24(self):
+        src = """
+__kernel void m(__global int* out)
+{
+    int gid = get_global_id(0);
+    out[gid] = mad24(gid, 3, mul24(gid, 2));
+}
+"""
+        _, outs = run_scalar_kernel(src, {}, (8,), (8,), {"out": (np.int32, (8,))})
+        g = np.arange(8)
+        np.testing.assert_array_equal(outs["out"], g * 3 + g * 2)
+
+
+class TestWorkItemQueries:
+    def test_all_queries(self):
+        src = """
+__kernel void q(__global int* out)
+{
+    int gid = get_global_id(0);
+    out[gid] = (int)(get_global_size(0)*1000000
+                     + get_num_groups(0)*10000
+                     + get_local_size(0)*100
+                     + get_work_dim()*10
+                     + get_global_offset(0));
+}
+"""
+        _, outs = run_scalar_kernel(src, {}, (32,), (8,), {"out": (np.int32, (32,))})
+        expected = 32 * 1000000 + 4 * 10000 + 8 * 100 + 1 * 10 + 0
+        np.testing.assert_array_equal(outs["out"], np.full(32, expected))
+
+    def test_out_of_range_dim(self):
+        src = """
+__kernel void q(__global int* out)
+{
+    out[get_global_id(0)] = (int)(get_global_id(2)
+                                  + get_local_size(2)
+                                  + get_num_groups(1));
+}
+"""
+        _, outs = run_scalar_kernel(src, {}, (4,), (4,), {"out": (np.int32, (4,))})
+        # gid(2)=0, lsize(2)=1, groups(1)=1 for a 1-D launch
+        np.testing.assert_array_equal(outs["out"], np.full(4, 2))

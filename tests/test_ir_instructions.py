@@ -1,0 +1,208 @@
+"""Unit tests for instruction construction, typing rules and cloning."""
+
+import pytest
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CastKind,
+    CmpPred,
+    CondBr,
+    ExtractElement,
+    FCmp,
+    GEP,
+    ICmp,
+    InsertElement,
+    Load,
+    Opcode,
+    Ret,
+    Select,
+    Store,
+    is_barrier,
+    is_side_effecting,
+)
+from repro.ir.types import (
+    AddressSpace,
+    ArrayType,
+    BOOL,
+    FLOAT,
+    I32,
+    I64,
+    PointerType,
+    VectorType,
+    VOID,
+)
+from repro.ir.values import Argument, Constant
+
+
+def gptr(ty=FLOAT, space=AddressSpace.GLOBAL, name="p"):
+    return Argument(PointerType(ty, space), name, 0)
+
+
+class TestBinOpAndCmp:
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            BinOp(Opcode.ADD, Constant(I32, 1), Constant(I64, 2))
+        with pytest.raises(TypeError):
+            ICmp(CmpPred.EQ, Constant(I32, 1), Constant(FLOAT, 1.0))
+        with pytest.raises(TypeError):
+            FCmp(CmpPred.OLT, Constant(FLOAT, 1.0), Constant(I32, 1))
+
+    def test_result_types(self):
+        add = BinOp(Opcode.ADD, Constant(I32, 1), Constant(I32, 2))
+        assert add.type == I32
+        cmp = ICmp(CmpPred.SLT, Constant(I32, 1), Constant(I32, 2))
+        assert cmp.type == BOOL
+
+    def test_opcode_is_float_flag(self):
+        assert Opcode.FADD.is_float and not Opcode.ADD.is_float
+
+
+class TestSelectAndCast:
+    def test_select_arm_mismatch(self):
+        c = ICmp(CmpPred.EQ, Constant(I32, 0), Constant(I32, 0))
+        with pytest.raises(TypeError):
+            Select(c, Constant(I32, 1), Constant(FLOAT, 1.0))
+
+    def test_cast_result_type(self):
+        c = Cast(CastKind.SITOFP, Constant(I32, 3), FLOAT)
+        assert c.type == FLOAT
+
+
+class TestMemoryInstructions:
+    def test_load_needs_pointer(self):
+        with pytest.raises(TypeError):
+            Load(Constant(I32, 0))
+
+    def test_load_type_and_space(self):
+        ld = Load(gptr(FLOAT, AddressSpace.LOCAL))
+        assert ld.type == FLOAT
+        assert ld.addrspace == AddressSpace.LOCAL
+
+    def test_store_type_check(self):
+        with pytest.raises(TypeError):
+            Store(Constant(I32, 1), gptr(FLOAT))
+        st = Store(Constant(FLOAT, 1.0), gptr(FLOAT))
+        assert st.type == VOID
+
+    def test_alloca_result_is_private_pointer(self):
+        a = Alloca(I32, "x")
+        assert a.type == PointerType(I32, AddressSpace.PRIVATE)
+        assert a.allocated_type == I32
+
+
+class TestGEP:
+    def test_scalar_pointer_single_index(self):
+        g = GEP(gptr(FLOAT), [Constant(I32, 3)])
+        assert g.type.pointee == FLOAT
+        assert g.strides() == [4]
+
+    def test_scalar_pointer_rejects_multi_index(self):
+        with pytest.raises(TypeError):
+            GEP(gptr(FLOAT), [Constant(I32, 0), Constant(I32, 1)])
+
+    def test_array_pointer_peels_levels(self):
+        arr = ArrayType(ArrayType(FLOAT, 8), 4)
+        base = gptr(arr, AddressSpace.LOCAL)
+        g = GEP(base, [Constant(I32, 1), Constant(I32, 2)])
+        assert g.type.pointee == FLOAT
+        assert g.strides() == [32, 4]  # row stride then element stride
+
+    def test_partial_indexing(self):
+        arr = ArrayType(ArrayType(FLOAT, 8), 4)
+        g = GEP(gptr(arr), [Constant(I32, 1)])
+        assert g.type.pointee == ArrayType(FLOAT, 8)
+
+    def test_too_many_indices(self):
+        arr = ArrayType(FLOAT, 8)
+        with pytest.raises(TypeError):
+            GEP(gptr(arr), [Constant(I32, 0), Constant(I32, 1)])
+
+    def test_addrspace_propagates(self):
+        g = GEP(gptr(FLOAT, AddressSpace.LOCAL), [Constant(I32, 0)])
+        assert g.addrspace == AddressSpace.LOCAL
+
+    def test_vector_element_stride(self):
+        g = GEP(gptr(VectorType(FLOAT, 4)), [Constant(I32, 2)])
+        assert g.strides() == [16]
+
+
+class TestVectorInstructions:
+    def test_extract(self):
+        vec = Argument(VectorType(FLOAT, 4), "v", 0)
+        e = ExtractElement(vec, Constant(I32, 1))
+        assert e.type == FLOAT
+
+    def test_extract_needs_vector(self):
+        with pytest.raises(TypeError):
+            ExtractElement(Constant(FLOAT, 1.0), Constant(I32, 0))
+
+    def test_insert_type_check(self):
+        vec = Argument(VectorType(FLOAT, 4), "v", 0)
+        with pytest.raises(TypeError):
+            InsertElement(vec, Constant(I32, 1), Constant(I32, 0))
+        ins = InsertElement(vec, Constant(FLOAT, 1.0), Constant(I32, 0))
+        assert ins.type == VectorType(FLOAT, 4)
+
+
+class TestTerminators:
+    def test_successors(self):
+        bb1, bb2 = BasicBlock("a"), BasicBlock("b")
+        assert Br(bb1).successors() == [bb1]
+        cond = ICmp(CmpPred.EQ, Constant(I32, 0), Constant(I32, 0))
+        cb = CondBr(cond, bb1, bb2)
+        assert cb.successors() == [bb1, bb2]
+        assert Ret().successors() == []
+
+    def test_condbr_needs_bool(self):
+        with pytest.raises(TypeError):
+            CondBr(Constant(I32, 1), BasicBlock(), BasicBlock())
+
+    def test_terminator_flags(self):
+        assert Br(BasicBlock()).is_terminator
+        assert Ret().is_terminator
+        assert not Alloca(I32).is_terminator
+
+
+class TestCloneAndErase:
+    def test_clone_shares_operands(self):
+        a, b = Constant(I32, 1), Constant(I32, 2)
+        inst = BinOp(Opcode.ADD, a, b, "sum")
+        c = inst.clone()
+        assert c is not inst
+        assert c.operands == [a, b]
+        assert c.opcode == Opcode.ADD
+        assert (c, 0) in a.uses  # the clone registers its own uses
+
+    def test_clone_preserves_extra_slots(self):
+        g = GEP(gptr(FLOAT), [Constant(I32, 1)])
+        c = g.clone()
+        assert isinstance(c, GEP) and c.strides() == [4]
+        call = Call("get_local_id", [Constant(I32, 0)], I64)
+        cc = call.clone()
+        assert cc.callee == "get_local_id"
+
+    def test_erase_from_parent(self):
+        fn = Function("f", [], [], VOID)
+        bb = fn.add_block("entry")
+        inst = BinOp(Opcode.ADD, Constant(I32, 1), Constant(I32, 2))
+        bb.append(inst)
+        inst.erase_from_parent()
+        assert inst not in bb.instructions
+        assert inst.parent is None
+
+
+class TestSideEffects:
+    def test_barrier_detection(self):
+        assert is_barrier(Call("barrier", [Constant(I32, 1)], VOID))
+        assert not is_barrier(Call("sqrt", [Constant(FLOAT, 1.0)], FLOAT))
+
+    def test_side_effecting(self):
+        assert is_side_effecting(Store(Constant(FLOAT, 0.0), gptr(FLOAT)))
+        assert is_side_effecting(Call("barrier", [Constant(I32, 1)], VOID))
+        assert not is_side_effecting(Call("sqrt", [Constant(FLOAT, 1.0)], FLOAT))
+        assert is_side_effecting(Ret())

@@ -1,0 +1,198 @@
+"""Tests for the textual IR parser (printer round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_kernel
+from repro.ir.parser import IRParseError, parse_function, parse_module, parse_type
+from repro.ir.printer import print_function, print_module
+from repro.ir.types import (
+    AddressSpace,
+    ArrayType,
+    BOOL,
+    DOUBLE,
+    FLOAT,
+    I32,
+    I64,
+    PointerType,
+    U32,
+    VectorType,
+)
+from repro.ir.verifier import verify_function
+
+from tests.conftest import MM_SOURCE, MT_SOURCE, REDUCTION_SOURCE, execute_kernel
+
+
+class TestParseType:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("i32", I32),
+            ("u32", U32),
+            ("float", FLOAT),
+            ("double", DOUBLE),
+            ("i1", BOOL),
+            ("i64", I64),
+            ("[16 x float]", ArrayType(FLOAT, 16)),
+            ("[4 x [8 x i32]]", ArrayType(ArrayType(I32, 8), 4)),
+            ("<4 x float>", VectorType(FLOAT, 4)),
+            ("float addrspace(1)*", PointerType(FLOAT, AddressSpace.GLOBAL)),
+            ("float addrspace(3)*", PointerType(FLOAT, AddressSpace.LOCAL)),
+            (
+                "[16 x [16 x float]] addrspace(3)*",
+                PointerType(ArrayType(ArrayType(FLOAT, 16), 16), AddressSpace.LOCAL),
+            ),
+            (
+                "<4 x float> addrspace(1)*",
+                PointerType(VectorType(FLOAT, 4), AddressSpace.GLOBAL),
+            ),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_type(text) == expected
+
+    @pytest.mark.parametrize("text", ["i13", "quux", "[x float]", "<3.5 x i8>"])
+    def test_invalid(self, text):
+        with pytest.raises(IRParseError):
+            parse_type(text)
+
+
+def roundtrip(source_or_fn):
+    fn = (
+        source_or_fn
+        if not isinstance(source_or_fn, str)
+        else compile_kernel(source_or_fn)
+    )
+    text = print_function(fn)
+    fn2 = parse_function(text)
+    verify_function(fn2)
+    return fn, fn2
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("src", [MT_SOURCE, MM_SOURCE, REDUCTION_SOURCE])
+    def test_structure_preserved(self, src):
+        fn, fn2 = roundtrip(src)
+        assert len(fn.blocks) == len(fn2.blocks)
+        assert sum(len(b.instructions) for b in fn.blocks) == sum(
+            len(b.instructions) for b in fn2.blocks
+        )
+        assert [a.type for a in fn.args] == [a.type for a in fn2.args]
+        assert fn.is_kernel == fn2.is_kernel
+        assert len(fn.local_arrays) == len(fn2.local_arrays)
+
+    def test_parsed_kernel_executes_identically(self):
+        fn, fn2 = roundtrip(MT_SOURCE)
+        n = 32
+        rng = np.random.default_rng(5)
+        a = rng.random((n, n), dtype=np.float32)
+        _, o1 = execute_kernel(
+            fn, {"in": a, "W": n, "H": n}, (n, n), (16, 16),
+            {"out": (np.float32, (n, n))},
+        )
+        _, o2 = execute_kernel(
+            fn2, {"in": a, "W": n, "H": n}, (n, n), (16, 16),
+            {"out": (np.float32, (n, n))},
+        )
+        np.testing.assert_array_equal(o1["out"], o2["out"])
+        np.testing.assert_array_equal(o1["out"], a.T)
+
+    def test_grover_transformed_kernel_roundtrips(self):
+        from repro.core import disable_local_memory
+
+        fn = compile_kernel(MT_SOURCE)
+        disable_local_memory(fn)
+        _, fn2 = roundtrip(fn)
+        assert not fn2.local_arrays
+
+    def test_vector_kernel_roundtrips(self):
+        src = """
+__kernel void v(__global float* out, __global const float* in)
+{
+    float4 a = vload4(get_global_id(0), in);
+    float4 b = a * 2.0f;
+    b.y = 7.0f;
+    vstore4(b, get_global_id(0), out);
+}
+"""
+        fn, fn2 = roundtrip(src)
+        data = np.arange(32, dtype=np.float32)
+        _, o2 = execute_kernel(
+            fn2, {"in": data}, (8,), (8,), {"out": (np.float32, (32,))}
+        )
+        expected = (data * 2).reshape(8, 4)
+        expected[:, 1] = 7.0
+        np.testing.assert_allclose(o2["out"].reshape(8, 4), expected)
+
+    def test_module_roundtrip(self):
+        from repro.frontend import compile_source
+
+        src = """
+__kernel void a(__global int* out) { out[get_global_id(0)] = 1; }
+__kernel void b(__global int* out) { out[get_global_id(0)] = 2; }
+"""
+        mod = compile_source(src)
+        mod2 = parse_module(print_module(mod))
+        assert set(mod2.functions) == {"a", "b"}
+        assert all(f.is_kernel for f in mod2)
+
+
+class TestDiagnostics:
+    def test_undefined_value(self):
+        text = "kernel void @k() {\nentry:\n  %a = add i32 %nope, 1\n  ret void\n}"
+        with pytest.raises(IRParseError, match="undefined value"):
+            parse_function(text)
+
+    def test_unknown_instruction(self):
+        text = "kernel void @k() {\nentry:\n  %a = frobnicate i32 1, 2\n  ret void\n}"
+        with pytest.raises(IRParseError, match="unknown instruction"):
+            parse_function(text)
+
+    def test_branch_to_unknown_label(self):
+        text = "kernel void @k() {\nentry:\n  br label %missing\n}"
+        with pytest.raises(IRParseError, match="unknown label"):
+            parse_function(text)
+
+    def test_bad_header(self):
+        with pytest.raises(IRParseError, match="header"):
+            parse_function("void k() {\n}")
+
+    def test_redefinition(self):
+        text = (
+            "kernel void @k() {\nentry:\n  %a = add i32 1, 2\n"
+            "  %a = add i32 3, 4\n  ret void\n}"
+        )
+        with pytest.raises(IRParseError, match="redefinition"):
+            parse_function(text)
+
+    def test_empty_input(self):
+        with pytest.raises(IRParseError, match="empty"):
+            parse_function("")
+
+
+class TestHandWrittenIR:
+    def test_write_ir_directly(self):
+        """The parser lets tests author IR without the frontend."""
+        text = """
+kernel void @axpy(float addrspace(1)* %y, float addrspace(1)* %x, float %a) {
+entry:
+  %gid = call i64 @get_global_id(0)
+  %px = getelementptr float addrspace(1)* %x, [%gid]
+  %vx = load float, float addrspace(1)* %px
+  %py = getelementptr float addrspace(1)* %y, [%gid]
+  %vy = load float, float addrspace(1)* %py
+  %ax = fmul float %a, %vx
+  %s = fadd float %ax, %vy
+  store float %s, float addrspace(1)* %py
+  ret void
+}
+"""
+        fn = parse_function(text)
+        verify_function(fn)
+        x = np.arange(16, dtype=np.float32)
+        y = np.ones(16, dtype=np.float32)
+        _, outs = execute_kernel(
+            fn, {"x": x, "y": y, "a": 2.0}, (16,), (16,),
+            {"y": (np.float32, (16,))},
+        )
+        np.testing.assert_allclose(outs["y"], 2.0 * x + 1.0)

@@ -1,0 +1,155 @@
+"""Unit tests for the IR type system."""
+
+import numpy as np
+import pytest
+
+from repro.ir.types import (
+    AddressSpace,
+    ArrayType,
+    BOOL,
+    DOUBLE,
+    FLOAT,
+    FloatType,
+    I8,
+    I16,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    U8,
+    U32,
+    U64,
+    VectorType,
+    VOID,
+    is_float,
+    is_integer,
+    is_pointer,
+    is_scalar,
+    is_vector,
+)
+
+
+class TestScalarTypes:
+    def test_int_sizes(self):
+        assert I8.size == 1
+        assert I16.size == 2
+        assert I32.size == 4
+        assert I64.size == 8
+
+    def test_float_sizes(self):
+        assert FLOAT.size == 4
+        assert DOUBLE.size == 8
+
+    def test_void_and_bool(self):
+        assert VOID.size == 0
+        assert BOOL.size == 1
+
+    def test_interning_by_value(self):
+        assert IntType(32, True) == I32
+        assert IntType(32, False) != I32
+        assert FloatType(32) == FLOAT
+        assert hash(IntType(32, True)) == hash(I32)
+
+    def test_unsupported_widths_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(12)
+        with pytest.raises(ValueError):
+            FloatType(8)
+
+    def test_numpy_dtypes(self):
+        assert I32.numpy_dtype == np.dtype(np.int32)
+        assert U8.numpy_dtype == np.dtype(np.uint8)
+        assert FLOAT.numpy_dtype == np.dtype(np.float32)
+
+    def test_int_ranges(self):
+        assert I8.min_value == -128 and I8.max_value == 127
+        assert U8.min_value == 0 and U8.max_value == 255
+        assert I32.max_value == 2**31 - 1
+        assert U64.max_value == 2**64 - 1
+
+    def test_str_rendering(self):
+        assert str(I32) == "i32"
+        assert str(U32) == "u32"
+        assert str(FLOAT) == "float"
+        assert str(DOUBLE) == "double"
+
+
+class TestVectorTypes:
+    def test_size(self):
+        assert VectorType(FLOAT, 4).size == 16
+        assert VectorType(I32, 2).size == 8
+
+    def test_float3_pads_to_4(self):
+        assert VectorType(FLOAT, 3).size == 16
+
+    def test_bad_widths(self):
+        with pytest.raises(ValueError):
+            VectorType(FLOAT, 5)
+
+    def test_element_must_be_scalar(self):
+        with pytest.raises(ValueError):
+            VectorType(VectorType(FLOAT, 4), 2)
+
+    def test_equality(self):
+        assert VectorType(FLOAT, 4) == VectorType(FLOAT, 4)
+        assert VectorType(FLOAT, 4) != VectorType(FLOAT, 2)
+
+
+class TestPointerTypes:
+    def test_default_space_is_private(self):
+        assert PointerType(FLOAT).addrspace == AddressSpace.PRIVATE
+
+    def test_size_is_8(self):
+        assert PointerType(FLOAT, AddressSpace.GLOBAL).size == 8
+
+    def test_spaces_distinguish(self):
+        g = PointerType(FLOAT, AddressSpace.GLOBAL)
+        l = PointerType(FLOAT, AddressSpace.LOCAL)
+        assert g != l
+
+    def test_str_includes_addrspace(self):
+        assert "addrspace(1)" in str(PointerType(FLOAT, AddressSpace.GLOBAL))
+        assert "addrspace(3)" in str(PointerType(FLOAT, AddressSpace.LOCAL))
+
+
+class TestArrayTypes:
+    def test_size(self):
+        assert ArrayType(FLOAT, 16).size == 64
+
+    def test_nested_dims(self):
+        a = ArrayType(ArrayType(FLOAT, 8), 4)
+        assert a.dims() == (4, 8)
+        assert a.size == 4 * 8 * 4
+        assert a.base_element() == FLOAT
+
+    def test_three_dims(self):
+        a = ArrayType(ArrayType(ArrayType(I32, 2), 3), 5)
+        assert a.dims() == (5, 3, 2)
+
+    def test_positive_length_required(self):
+        with pytest.raises(ValueError):
+            ArrayType(FLOAT, 0)
+
+
+class TestPredicates:
+    def test_classification(self):
+        assert is_integer(I32) and not is_integer(FLOAT)
+        assert is_float(DOUBLE) and not is_float(I32)
+        assert is_scalar(I32) and is_scalar(FLOAT) and is_scalar(BOOL)
+        assert not is_scalar(VectorType(FLOAT, 4))
+        assert is_pointer(PointerType(FLOAT))
+        assert is_vector(VectorType(I32, 4))
+
+
+class TestAddressSpace:
+    def test_short_names(self):
+        assert AddressSpace.GLOBAL.short_name() == "global"
+        assert AddressSpace.LOCAL.short_name() == "local"
+        assert AddressSpace.PRIVATE.short_name() == "private"
+        assert AddressSpace.CONSTANT.short_name() == "constant"
+
+    def test_spir_numbering(self):
+        assert int(AddressSpace.PRIVATE) == 0
+        assert int(AddressSpace.GLOBAL) == 1
+        assert int(AddressSpace.CONSTANT) == 2
+        assert int(AddressSpace.LOCAL) == 3

@@ -1,0 +1,95 @@
+"""Unit tests for values, constants and use-def chains."""
+
+import pytest
+
+from repro.ir.instructions import BinOp, Opcode
+from repro.ir.types import ArrayType, BOOL, FLOAT, I8, I32, U8
+from repro.ir.values import Argument, Constant, LocalArray, const_float, const_int
+
+
+class TestConstants:
+    def test_int_wrapping_signed(self):
+        assert Constant(I8, 200).value == 200 - 256
+        assert Constant(I8, -129).value == 127
+        assert Constant(I32, 2**31).value == -(2**31)
+
+    def test_int_wrapping_unsigned(self):
+        assert Constant(U8, 300).value == 44
+        assert Constant(U8, -1).value == 255
+
+    def test_float_conversion(self):
+        assert Constant(FLOAT, 3).value == 3.0
+        assert isinstance(Constant(FLOAT, 3).value, float)
+
+    def test_bool(self):
+        assert Constant(BOOL, 1).value is True
+
+    def test_equality_and_hash(self):
+        assert Constant(I32, 5) == Constant(I32, 5)
+        assert Constant(I32, 5) != Constant(I32, 6)
+        assert Constant(I32, 5) != Constant(FLOAT, 5)
+        assert hash(Constant(I32, 5)) == hash(Constant(I32, 5))
+
+    def test_non_scalar_rejected(self):
+        with pytest.raises(TypeError):
+            Constant(ArrayType(FLOAT, 4), 0)
+
+    def test_helpers(self):
+        assert const_int(7).type == I32
+        assert const_float(1.5).type == FLOAT
+
+
+class TestUseDefChains:
+    def test_uses_recorded(self):
+        a = Constant(I32, 1)
+        b = Constant(I32, 2)
+        inst = BinOp(Opcode.ADD, a, b)
+        assert (inst, 0) in a.uses
+        assert (inst, 1) in b.uses
+
+    def test_set_operand_updates_uses(self):
+        a, b, c = Constant(I32, 1), Constant(I32, 2), Constant(I32, 3)
+        inst = BinOp(Opcode.ADD, a, b)
+        inst.set_operand(0, c)
+        assert (inst, 0) not in a.uses
+        assert (inst, 0) in c.uses
+        assert inst.operands[0] is c
+
+    def test_replace_all_uses_with(self):
+        a, b, new = Constant(I32, 1), Constant(I32, 2), Constant(I32, 9)
+        i1 = BinOp(Opcode.ADD, a, b)
+        i2 = BinOp(Opcode.MUL, a, a)
+        a.replace_all_uses_with(new)
+        assert i1.operands[0] is new
+        assert i2.operands[0] is new and i2.operands[1] is new
+        assert not a.uses
+
+    def test_replace_with_self_is_noop(self):
+        a, b = Constant(I32, 1), Constant(I32, 2)
+        inst = BinOp(Opcode.ADD, a, b)
+        a.replace_all_uses_with(a)
+        assert inst.operands[0] is a
+
+    def test_drop_all_references(self):
+        a, b = Constant(I32, 1), Constant(I32, 2)
+        inst = BinOp(Opcode.ADD, a, b)
+        inst.drop_all_references()
+        assert not a.uses and not b.uses
+        assert inst.operands == []
+
+    def test_users_property(self):
+        a = Constant(I32, 1)
+        i1 = BinOp(Opcode.ADD, a, a)
+        assert a.users == [i1, i1]  # one entry per operand slot
+
+
+class TestArgumentsAndLocalArrays:
+    def test_argument_metadata(self):
+        arg = Argument(I32, "n", 2)
+        assert arg.name == "n" and arg.index == 2
+
+    def test_local_array_type_and_size(self):
+        la = LocalArray(ArrayType(ArrayType(FLOAT, 16), 16), "lm")
+        assert la.nbytes == 1024
+        assert la.type.addrspace.name == "LOCAL"
+        assert la.array_type.dims() == (16, 16)

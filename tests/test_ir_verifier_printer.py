@@ -1,0 +1,122 @@
+"""Unit tests for the IR verifier and the textual printer."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function, Module
+from repro.ir.instructions import BinOp, Opcode, Ret
+from repro.ir.printer import print_function, print_module
+from repro.ir.types import AddressSpace, ArrayType, FLOAT, I32, PointerType
+from repro.ir.values import Constant
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+
+
+def trivial_fn(name="f"):
+    fn = Function(name, [I32], ["n"], is_kernel=True)
+    IRBuilder(fn.add_block("entry")).ret()
+    return fn
+
+
+class TestVerifier:
+    def test_valid_function_passes(self):
+        verify_function(trivial_fn())
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(VerificationError, match="no blocks"):
+            verify_function(Function("f", [], []))
+
+    def test_missing_terminator(self):
+        fn = Function("f", [], [])
+        bb = fn.add_block()
+        bb.append(BinOp(Opcode.ADD, Constant(I32, 1), Constant(I32, 1)))
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_function(fn)
+
+    def test_terminator_in_middle(self):
+        fn = Function("f", [], [])
+        bb = fn.add_block()
+        bb.append(Ret())
+        bb.append(Ret())
+        with pytest.raises(VerificationError, match="middle"):
+            verify_function(fn)
+
+    def test_foreign_value_rejected(self):
+        fn1 = trivial_fn("a")
+        fn2 = Function("b", [], [])
+        bb2 = fn2.add_block()
+        b2 = IRBuilder(bb2)
+        b2.add(fn1.arg("n"), Constant(I32, 1))  # uses a's argument!
+        b2.ret()
+        with pytest.raises(VerificationError, match="another function"):
+            verify_function(fn2)
+
+    def test_dominance_violation(self):
+        fn = Function("f", [], [])
+        entry = fn.add_block("entry")
+        late = fn.add_block("late")
+        IRBuilder(entry).br(late)
+        # build an instruction in `late`, then use it in `entry`
+        bl = IRBuilder(late)
+        val = bl.add(Constant(I32, 1), Constant(I32, 1))
+        bl.ret()
+        be = IRBuilder(entry)
+        be.position_before(entry.terminator)
+        be.add(val, Constant(I32, 1))
+        with pytest.raises(VerificationError, match="dominate"):
+            verify_function(fn)
+
+    def test_branch_to_foreign_block(self):
+        fn = Function("f", [], [])
+        bb = fn.add_block()
+        other_fn = Function("g", [], [])
+        foreign = other_fn.add_block()
+        IRBuilder(bb).br(foreign)
+        with pytest.raises(VerificationError, match="foreign"):
+            verify_function(fn)
+
+    def test_verify_module(self):
+        mod = Module("m")
+        mod.add_function(trivial_fn())
+        verify_module(mod)
+
+
+class TestPrinter:
+    def test_prints_signature(self):
+        text = print_function(trivial_fn())
+        assert "kernel void @f(i32 %n)" in text
+
+    def test_prints_local_arrays(self):
+        fn = trivial_fn()
+        fn.add_local_array(ArrayType(FLOAT, 16), "lm")
+        text = print_function(fn)
+        assert "%lm = local [16 x float]" in text
+        assert "64 bytes" in text
+
+    def test_prints_instructions(self):
+        fn = Function("g", [PointerType(FLOAT, AddressSpace.GLOBAL)], ["p"])
+        b = IRBuilder(fn.add_block("entry"))
+        gep = b.gep(fn.arg("p"), [Constant(I32, 2)])
+        v = b.load(gep, "v")
+        b.store(v, gep)
+        b.ret()
+        text = print_function(fn)
+        assert "getelementptr" in text
+        assert "load float" in text
+        assert "store float" in text
+        assert "ret void" in text
+
+    def test_print_module_contains_all_functions(self):
+        mod = Module("m")
+        mod.add_function(trivial_fn("a"))
+        mod.add_function(trivial_fn("b"))
+        text = print_module(mod)
+        assert "@a(" in text and "@b(" in text
+
+    def test_mt_kernel_roundtrip_strings(self):
+        from tests.conftest import MT_SOURCE
+        from repro.frontend import compile_kernel
+
+        text = print_function(compile_kernel(MT_SOURCE))
+        assert "@barrier" in text
+        assert "addrspace(3)" in text  # local memory present
+        assert "@get_local_id" in text

@@ -1,0 +1,76 @@
+"""Tests for the cost-breakdown explainer."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_kernel
+from repro.perf.devices import SNB
+from repro.perf.explain import CostBreakdown, compare, explain_kernel
+from repro.perf.timing import estimate_cost
+from repro.runtime import Memory, launch
+
+from tests.conftest import MT_SOURCE
+
+
+def mt_trace(src=MT_SOURCE, n=32, transform=False):
+    kernel = compile_kernel(src)
+    if transform:
+        from repro.core import disable_local_memory
+
+        disable_local_memory(kernel)
+    mem = Memory()
+    a = np.zeros((n, n), np.float32)
+    inb, outb = mem.from_array(a), mem.alloc(a.nbytes)
+    return launch(
+        kernel,
+        (n, n),
+        (16, 16),
+        {"in": inb, "out": outb, "W": n, "H": n},
+        collect_trace=True,
+    ).trace
+
+
+class TestExplain:
+    def test_components_sum_to_total(self):
+        trace = mt_trace()
+        bd = explain_kernel(trace, SNB)
+        assert bd.cycles == pytest.approx(
+            bd.inst_cycles + bd.mem_cycles + bd.barrier_cycles
+        )
+
+    def test_matches_estimate_cost(self):
+        trace = mt_trace()
+        bd = explain_kernel(trace, SNB)
+        assert bd.cycles == pytest.approx(estimate_cost(trace, SNB).cycles)
+
+    def test_hit_rates(self):
+        bd = explain_kernel(mt_trace(), SNB)
+        rates = bd.hit_rates
+        assert len(rates) == 3  # L1, L2, LLC on SNB
+        assert all(0.0 <= r <= 1.0 for r in rates)
+        assert rates[0] > 0.5  # MT is L1-friendly
+
+    def test_render_contains_components(self):
+        text = explain_kernel(mt_trace(), SNB).render()
+        assert "instructions" in text
+        assert "memory" in text
+        assert "barriers" in text
+        assert "SNB" in text
+
+
+class TestCompare:
+    def test_mt_comparison_names_winner(self):
+        t_with = mt_trace()
+        t_without = mt_trace(transform=True)
+        text = compare(t_with, t_without, SNB)
+        assert "removal wins" in text
+        assert "dominant component" in text
+        assert "normalised performance" in text
+
+    def test_barrier_delta_visible(self):
+        t_with = mt_trace()
+        t_without = mt_trace(transform=True)
+        a = explain_kernel(t_with, SNB)
+        b = explain_kernel(t_without, SNB)
+        assert a.barrier_cycles > 0
+        assert b.barrier_cycles == 0

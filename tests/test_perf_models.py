@@ -1,0 +1,207 @@
+"""Tests for the CPU/GPU timing models and device table."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_kernel
+from repro.perf import (
+    CPUModel,
+    GPUModel,
+    DEVICES,
+    device,
+    estimate_cost,
+    normalized_performance,
+)
+from repro.perf.devices import CPU_DEVICES, GPU_DEVICES, MIC, SNB, FERMI
+from repro.perf.timing import classify
+from repro.runtime import Memory, launch
+
+from tests.conftest import MT_SOURCE
+
+
+def mt_trace(n=32, local=(16, 16)):
+    kernel = compile_kernel(MT_SOURCE)
+    mem = Memory()
+    a = np.zeros((n, n), np.float32)
+    inb, outb = mem.from_array(a), mem.alloc(a.nbytes)
+    res = launch(
+        kernel,
+        (n, n),
+        local,
+        {"in": inb, "out": outb, "W": n, "H": n},
+        collect_trace=True,
+    )
+    return res.trace
+
+
+COALESCE_SRC = """
+__kernel void k(__global float* out, __global const float* in, int stride)
+{
+    int gid = get_global_id(0);
+    out[gid] = in[gid * stride];
+}
+"""
+
+
+def strided_trace(stride):
+    kernel = compile_kernel(COALESCE_SRC)
+    mem = Memory()
+    n = 64
+    inb = mem.from_array(np.zeros(n * max(1, stride), np.float32))
+    outb = mem.alloc(n * 4)
+    res = launch(
+        kernel,
+        (n,),
+        (64,),
+        {"in": inb, "out": outb, "stride": stride},
+        collect_trace=True,
+    )
+    return res.trace
+
+
+class TestDeviceTable:
+    def test_paper_platforms_present(self):
+        assert set(DEVICES) == {"SNB", "Nehalem", "MIC", "Fermi", "Kepler", "Tahiti"}
+        assert set(CPU_DEVICES) == {"SNB", "Nehalem", "MIC"}
+        assert set(GPU_DEVICES) == {"Fermi", "Kepler", "Tahiti"}
+
+    def test_lookup(self):
+        assert device("SNB") is SNB
+        with pytest.raises(KeyError):
+            device("EPYC")
+
+    def test_mic_has_distributed_llc(self):
+        assert MIC.l3 is None
+
+    def test_gpu_flags(self):
+        assert FERMI.is_gpu and not SNB.is_gpu
+
+
+class TestCPUModel:
+    def test_cycles_positive_and_scale(self):
+        trace = mt_trace()
+        m = CPUModel(SNB)
+        total = m.time_kernel(trace)
+        assert total > 0
+        per_group = [m.time_group(g).cycles for g in trace.groups]
+        assert total == pytest.approx(sum(per_group))
+
+    def test_more_memory_traffic_costs_more(self):
+        m = CPUModel(SNB)
+        t_small = mt_trace(n=16)
+        t_big = mt_trace(n=64)
+        assert m.time_kernel(t_big) > m.time_kernel(t_small)
+
+    def test_local_arena_is_warm(self):
+        """Local-space lines must not produce cold memory misses."""
+        m = CPUModel(SNB)
+        g = mt_trace().groups[0]
+        cost = m.time_group(g)
+        # in-tile (16 lines) + out-tile (16 lines) cold misses only
+        assert cost.memory_misses <= 32
+
+    def test_barrier_cost_counted(self):
+        m = CPUModel(SNB)
+        g = mt_trace().groups[0]
+        cost = m.time_group(g)
+        assert cost.barrier_cycles == SNB.barrier_cost * g.work_items
+
+    def test_mic_has_no_l3_level(self):
+        m = CPUModel(MIC)
+        assert len(m._hierarchy().levels) == 2
+        m2 = CPUModel(SNB)
+        assert len(m2._hierarchy().levels) == 3
+
+
+class TestGPUModel:
+    def test_coalesced_vs_strided_transactions(self):
+        m = GPUModel(FERMI)
+        dense = m.time_group(strided_trace(1).groups[0])
+        strided = m.time_group(strided_trace(32).groups[0])
+        assert strided.transactions > dense.transactions
+        assert strided.cycles > dense.cycles
+
+    def test_warp_granularity(self):
+        m = GPUModel(FERMI)
+        cost = m.time_group(strided_trace(1).groups[0])
+        # 64 lanes = 2 warps; dense reads coalesce into 2 x 2 segments
+        # (256 B per warp / 128 B segments) + output stores
+        assert cost.transactions <= 10
+
+    def test_spm_bank_conflicts(self):
+        src = """
+__kernel void k(__global float* out, int stride)
+{
+    __local float lm[2048];
+    int lx = get_local_id(0);
+    lm[lx * stride] = (float)lx;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = lm[lx * stride];
+}
+"""
+        kernel1 = compile_kernel(src)
+        m = GPUModel(FERMI)
+
+        def run(stride):
+            mem = Memory()
+            outb = mem.alloc(64 * 4)
+            res = launch(
+                kernel1,
+                (64,),
+                (64,),
+                {"out": outb, "stride": stride},
+                collect_trace=True,
+            )
+            return m.time_group(res.trace.groups[0])
+
+        conflict_free = run(1)
+        conflicted = run(32)  # stride 32 words: every lane hits bank 0
+        assert conflicted.spm_cycles > conflict_free.spm_cycles
+
+    def test_l1_toggle_changes_cost(self):
+        from dataclasses import replace
+
+        # a kernel with global-read reuse: the second read of the same
+        # segments hits L1 (cheap) or only L2 (Kepler-style), so the
+        # toggle must change the estimate
+        src = """
+__kernel void k(__global float* out, __global const float* in)
+{
+    int gid = get_global_id(0);
+    out[gid] = in[gid] + in[63 - gid];
+}
+"""
+        kernel = compile_kernel(src)
+        mem = Memory()
+        inb = mem.from_array(np.zeros(64, np.float32))
+        outb = mem.alloc(64 * 4)
+        trace = launch(
+            kernel, (64,), (64,), {"in": inb, "out": outb}, collect_trace=True
+        ).trace
+        with_l1 = GPUModel(FERMI).time_kernel(trace)
+        no_l1 = GPUModel(replace(FERMI, global_l1=False)).time_kernel(trace)
+        assert no_l1 > with_l1
+
+
+class TestTimingHelpers:
+    def test_estimate_and_normalize(self):
+        trace = mt_trace()
+        c1 = estimate_cost(trace, "SNB")
+        c2 = estimate_cost(trace, SNB)
+        assert c1.cycles == c2.cycles
+        assert c1.device == "SNB"
+        np_ratio = normalized_performance(c1, c2)
+        assert np_ratio == 1.0
+
+    def test_classify(self):
+        assert classify(1.2) == "gain"
+        assert classify(0.8) == "loss"
+        assert classify(1.01) == "similar"
+        assert classify(1.04999) == "similar"
+        assert classify(1.06) == "gain"
+
+    def test_speedup_over(self):
+        trace = mt_trace()
+        c1 = estimate_cost(trace, "SNB")
+        c2 = estimate_cost(trace, "MIC")
+        assert c1.speedup_over(c2) == pytest.approx(c2.cycles / c1.cycles)
