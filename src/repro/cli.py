@@ -3,6 +3,12 @@
 Runs the Grover pass over an OpenCL C file and prints the before/after
 IR plus the Table-III style index report — the workflow of the paper's
 Fig. 9 pipeline from the terminal.
+
+Subcommands:
+
+* ``python -m repro.cli bench [...]`` — the perf regression harness
+  (see :mod:`repro.perf.bench`): times compile→launch→trace→cycles for
+  the headline workloads and writes ``BENCH_pipeline.json``.
 """
 
 from __future__ import annotations
@@ -49,6 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        from repro.perf.bench import main as bench_main
+
+        return bench_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     source = Path(args.file).read_text()
     defines = {}

@@ -24,6 +24,15 @@ Supported language subset (everything the 11 benchmark kernels need):
 """
 
 from repro.frontend.errors import FrontendError
-from repro.frontend.compile import compile_kernel, compile_source
+from repro.frontend.compile import (
+    clear_compile_cache,
+    compile_kernel,
+    compile_source,
+)
 
-__all__ = ["FrontendError", "compile_kernel", "compile_source"]
+__all__ = [
+    "FrontendError",
+    "clear_compile_cache",
+    "compile_kernel",
+    "compile_source",
+]

@@ -1,8 +1,19 @@
-"""Top-level frontend driver: OpenCL C source -> IR module / kernel."""
+"""Top-level frontend driver: OpenCL C source -> IR module / kernel.
+
+Compilation results are memoized in a small LRU cache keyed on
+``(source, defines, module_name, optimize)``: benchmarks and
+experiments re-compile the same handful of kernels hundreds of times,
+and re-parsing dominates their setup cost.  Because downstream passes
+(notably :class:`repro.core.GroverPass`) mutate IR in place, every
+cache hit hands out a ``deepcopy`` of the cached module — callers own
+their module, exactly as if it had been compiled fresh.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import copy
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
 
 from pycparser import CParser
 from pycparser.c_parser import ParseError
@@ -14,14 +25,38 @@ from repro.ir.function import Function, Module
 from repro.ir.passes import run_default_passes
 from repro.ir.verifier import verify_module
 
+_COMPILE_CACHE_SIZE = 32
+_compile_cache: "OrderedDict[Tuple, Module]" = OrderedDict()
+
+
+def clear_compile_cache() -> None:
+    """Drop all memoized modules (mainly for tests and memory pressure)."""
+    _compile_cache.clear()
+
 
 def compile_source(
     source: str,
     defines: Optional[Dict[str, object]] = None,
     module_name: str = "kernel_module",
     optimize: bool = True,
+    cache: bool = True,
 ) -> Module:
-    """Compile OpenCL C source text into a verified IR module."""
+    """Compile OpenCL C source text into a verified IR module.
+
+    ``cache=False`` bypasses the compile cache (used by benchmarks to
+    measure cold compiles).
+    """
+    key = (
+        source,
+        tuple(sorted((str(k), str(v)) for k, v in (defines or {}).items())),
+        module_name,
+        optimize,
+    )
+    if cache:
+        hit = _compile_cache.get(key)
+        if hit is not None:
+            _compile_cache.move_to_end(key)
+            return copy.deepcopy(hit)
     pre = preprocess(source, defines)
     parser = CParser()
     try:
@@ -37,6 +72,10 @@ def compile_source(
         for fn in module:
             vendor_optimize(fn)
     verify_module(module)
+    if cache:
+        _compile_cache[key] = copy.deepcopy(module)
+        while len(_compile_cache) > _COMPILE_CACHE_SIZE:
+            _compile_cache.popitem(last=False)
     return module
 
 
@@ -45,6 +84,7 @@ def compile_kernel(
     name: Optional[str] = None,
     defines: Optional[Dict[str, object]] = None,
     optimize: bool = True,
+    cache: bool = True,
 ) -> Function:
     """Compile source and return one kernel (the only one, or by name)."""
-    return compile_source(source, defines, optimize=optimize).kernel(name)
+    return compile_source(source, defines, optimize=optimize, cache=cache).kernel(name)

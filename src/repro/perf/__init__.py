@@ -24,6 +24,13 @@ roughly by what factor, where behaviour flips).
 """
 
 from repro.perf.cache import CacheStats, SetAssocCache
+from repro.perf.fastcache import (
+    FastCacheHierarchy,
+    FastSetAssocCache,
+    cache_backend,
+    make_hierarchy,
+    set_cache_backend,
+)
 from repro.perf.devices import (
     CPUSpec,
     GPUSpec,
@@ -40,6 +47,11 @@ from repro.perf.timing import KernelCost, estimate_cost, normalized_performance
 __all__ = [
     "CacheStats",
     "SetAssocCache",
+    "FastCacheHierarchy",
+    "FastSetAssocCache",
+    "cache_backend",
+    "make_hierarchy",
+    "set_cache_backend",
     "CPUSpec",
     "GPUSpec",
     "DEVICES",

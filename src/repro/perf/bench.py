@@ -1,0 +1,178 @@
+"""Perf regression harness for the compile→launch→trace→cycles pipeline.
+
+``python -m repro.cli bench`` (the ``repro bench`` subcommand) times
+every stage of the measurement pipeline for the three headline
+workloads — matrix transpose, tiled matrix multiply and a stencil —
+and writes the results to ``BENCH_pipeline.json`` so successive PRs
+have a wall-clock trajectory to compare against.
+
+For the trace→cycles stage, each device is timed twice: the
+**reference** oracle (per-access python LRU walk, no memoization) and
+the **fast** path (vectorised stack-distance simulation plus
+group-trace memoization).  Before timing, the harness asserts that the
+fast backend — with memoization off — reproduces the oracle's per-group
+hit/miss/prefetch counts exactly; a mismatch is a hard failure, not a
+recorded number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.harness import run_app
+from repro.apps.registry import get_app
+from repro.frontend import clear_compile_cache, compile_kernel
+from repro.perf import devices
+from repro.perf.cpumodel import CPUModel
+from repro.perf.gpumodel import GPUModel
+from repro.runtime.trace import KernelTrace
+
+#: app ids benchmarked by default: transpose, tiled matmul, stencil
+DEFAULT_APPS = ("NVD-MT", "NVD-MM-B", "PAB-ST")
+DEFAULT_SAMPLE_GROUPS = 16
+SCHEMA_VERSION = 1
+
+
+class EquivalenceError(AssertionError):
+    """Fast path and reference oracle disagreed on simulated counts."""
+
+
+def _check_equivalence(trace: KernelTrace, cpu_spec, gpu_spec) -> None:
+    """Exact per-group comparison of fast vs reference (memoization off)."""
+    ref_cpu = CPUModel(cpu_spec, memoize=False, backend="reference")
+    fast_cpu = CPUModel(cpu_spec, memoize=False, backend="fast")
+    for g in trace.groups:
+        a, b = ref_cpu.time_group(g), fast_cpu.time_group(g)
+        if (a.level_hits, a.memory_misses, a.prefetched) != (
+            b.level_hits, b.memory_misses, b.prefetched
+        ):
+            raise EquivalenceError(
+                f"CPU {cpu_spec.name} group {g.group_id}: "
+                f"reference {a.level_hits}/{a.memory_misses}/{a.prefetched} "
+                f"!= fast {b.level_hits}/{b.memory_misses}/{b.prefetched}"
+            )
+    ref_gpu = GPUModel(gpu_spec, memoize=False, backend="reference")
+    fast_gpu = GPUModel(gpu_spec, memoize=False, backend="fast")
+    for g in trace.groups:
+        a, b = ref_gpu.time_group(g), fast_gpu.time_group(g)
+        if (a.transactions, a.mem_cycles) != (b.transactions, b.mem_cycles):
+            raise EquivalenceError(
+                f"GPU {gpu_spec.name} group {g.group_id}: "
+                f"reference {a.transactions}/{a.mem_cycles} "
+                f"!= fast {b.transactions}/{b.mem_cycles}"
+            )
+
+
+def bench_app(
+    app_id: str,
+    scale: str = "bench",
+    sample_groups: int = DEFAULT_SAMPLE_GROUPS,
+    variants: Sequence[str] = ("with", "without"),
+) -> Dict:
+    """Time each pipeline stage for one app; returns a JSON-ready dict."""
+    app = get_app(app_id)
+    out: Dict = {"scale": scale, "sample_groups": sample_groups, "stages": {}}
+
+    # -- compile: cold (cache bypassed) vs cached -----------------------------
+    clear_compile_cache()
+    t0 = time.perf_counter()
+    compile_kernel(app.source, app.kernel_name, defines=app.defines, cache=False)
+    t1 = time.perf_counter()
+    compile_kernel(app.source, app.kernel_name, defines=app.defines)  # warm
+    t2 = time.perf_counter()
+    compile_kernel(app.source, app.kernel_name, defines=app.defines)
+    t3 = time.perf_counter()
+    out["stages"]["compile_cold_s"] = t1 - t0
+    out["stages"]["compile_cached_s"] = t3 - t2
+
+    # -- launch + trace -------------------------------------------------------
+    traces: Dict[str, KernelTrace] = {}
+    t0 = time.perf_counter()
+    for var in variants:
+        run = run_app(
+            app, var, scale, collect_trace=True, sample_groups=sample_groups
+        )
+        traces[var] = run.trace
+    t1 = time.perf_counter()
+    out["stages"]["launch_trace_s"] = t1 - t0
+
+    # -- trace -> cycles ------------------------------------------------------
+    cpu_spec, gpu_spec = devices.SNB, devices.FERMI
+    for var in variants:
+        _check_equivalence(traces[var], cpu_spec, gpu_spec)
+
+    def time_models(memoize: bool, backend: str) -> float:
+        start = time.perf_counter()
+        for var in variants:
+            CPUModel(cpu_spec, memoize=memoize, backend=backend).time_kernel(
+                traces[var]
+            )
+            GPUModel(gpu_spec, memoize=memoize, backend=backend).time_kernel(
+                traces[var]
+            )
+        return time.perf_counter() - start
+
+    ref_s = time_models(memoize=False, backend="reference")
+    fast_s = time_models(memoize=True, backend="fast")
+    out["stages"]["cycles_reference_s"] = ref_s
+    out["stages"]["cycles_fast_s"] = fast_s
+    out["trace_to_cycles_speedup"] = ref_s / fast_s if fast_s > 0 else float("inf")
+    out["equivalence"] = "exact"
+    return out
+
+
+def run_bench(
+    apps: Sequence[str] = DEFAULT_APPS,
+    scale: str = "bench",
+    sample_groups: int = DEFAULT_SAMPLE_GROUPS,
+) -> Dict:
+    results = {
+        "schema": SCHEMA_VERSION,
+        "description": "wall-clock seconds per pipeline stage "
+        "(compile / launch+trace / trace->cycles, reference vs fast path)",
+        "devices": {"cpu": devices.SNB.name, "gpu": devices.FERMI.name},
+        "apps": {},
+    }
+    for app_id in apps:
+        results["apps"][app_id] = bench_app(app_id, scale, sample_groups)
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    p = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Time the compile->launch->trace->cycles pipeline "
+        "and check fast-path equivalence.",
+    )
+    p.add_argument("--apps", default=",".join(DEFAULT_APPS),
+                   help="comma-separated app ids")
+    p.add_argument("--scale", default="bench", help="problem scale")
+    p.add_argument("--sample-groups", type=int, default=DEFAULT_SAMPLE_GROUPS)
+    p.add_argument("--json", dest="json_path", default="BENCH_pipeline.json",
+                   help="output file ('-' for stdout only)")
+    args = p.parse_args(argv)
+
+    results = run_bench(
+        [a.strip() for a in args.apps.split(",") if a.strip()],
+        args.scale,
+        args.sample_groups,
+    )
+    text = json.dumps(results, indent=2, sort_keys=True)
+    if args.json_path != "-":
+        with open(args.json_path, "w") as f:
+            f.write(text + "\n")
+    print(text)
+    for app_id, r in results["apps"].items():
+        print(
+            f"# {app_id}: trace->cycles {r['trace_to_cycles_speedup']:.1f}x "
+            f"(ref {r['stages']['cycles_reference_s']:.3f}s -> "
+            f"fast {r['stages']['cycles_fast_s']:.3f}s)"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

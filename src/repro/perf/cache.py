@@ -1,4 +1,9 @@
-"""Set-associative LRU cache simulation.
+"""Set-associative LRU cache simulation (the reference oracle).
+
+This per-access implementation is the semantic ground truth; the
+vectorised fast path in :mod:`repro.perf.fastcache` must produce
+bit-identical hit/miss/prefetch counts (enforced by the equivalence
+test suite) and is what the performance models use by default.
 
 The simulator is line-granular and driven by pre-computed numpy arrays
 of line ids (the vectorisable part — extraction, collapsing of
@@ -116,6 +121,12 @@ class CacheHierarchy:
     def reset(self) -> None:
         for lv in self.levels:
             lv.reset()
+
+    def fill(self, lines: np.ndarray) -> None:
+        """Warm every level with ``lines`` (uncounted fills, in order)."""
+        for lv in self.levels:
+            for line in np.asarray(lines, dtype=np.int64).tolist():
+                lv.fill(line)
 
     def run(self, lines: np.ndarray) -> HierarchyCounts:
         levels = self.levels

@@ -27,13 +27,14 @@ per-thread slice of ``l3_size / cores``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.ir.types import AddressSpace
-from repro.perf.cache import CacheHierarchy, SetAssocCache, collapse_consecutive
+from repro.perf.cache import collapse_consecutive
 from repro.perf.devices import CPUSpec
+from repro.perf.fastcache import make_hierarchy, memo_enabled
 from repro.runtime.trace import GroupTrace, KernelTrace
 
 _CACHED_SPACES = (AddressSpace.GLOBAL, AddressSpace.CONSTANT, AddressSpace.LOCAL)
@@ -55,26 +56,42 @@ class CPUGroupCost:
 
 
 class CPUModel:
-    def __init__(self, spec: CPUSpec, warm_local: bool = True) -> None:
+    def __init__(
+        self,
+        spec: CPUSpec,
+        warm_local: bool = True,
+        memoize: Optional[bool] = None,
+        backend: Optional[str] = None,
+    ) -> None:
         self.spec = spec
         #: model the __local arena as thread-resident (cache-warm); the
         #: ablation benchmark sets False to show why this matters
         self.warm_local = warm_local
+        #: reuse the simulated cost of groups with an identical
+        #: relative access pattern (see GroupTrace.fingerprint);
+        #: defaults to the REPRO_PERF_MEMO switch
+        self.memoize = memo_enabled() if memoize is None else memoize
+        #: cache backend override ('fast'/'reference'); None = process default
+        self.backend = backend
+        self._group_costs: Dict[bytes, CPUGroupCost] = {}
 
-    def _hierarchy(self) -> CacheHierarchy:
+    def _hierarchy(self):
         s = self.spec
-        levels = [
-            SetAssocCache(s.l1[0], s.l1[1], s.line_size, "L1"),
-            SetAssocCache(s.l2[0], s.l2[1], s.line_size, "L2"),
+        specs = [
+            (s.l1[0], s.l1[1], s.line_size, "L1"),
+            (s.l2[0], s.l2[1], s.line_size, "L2"),
         ]
         if s.l3 is not None:
             # one thread's slice of the shared LLC
-            levels.append(
-                SetAssocCache(s.l3[0] / s.cores, s.l3[1], s.line_size, "LLC")
-            )
-        return CacheHierarchy(levels)
+            specs.append((s.l3[0] / s.cores, s.l3[1], s.line_size, "LLC"))
+        return make_hierarchy(specs, backend=self.backend)
 
     def time_group(self, gt: GroupTrace) -> CPUGroupCost:
+        if self.memoize:
+            key = gt.fingerprint()
+            cached = self._group_costs.get(key)
+            if cached is not None:
+                return cached
         s = self.spec
         stream = gt.serialized(_CACHED_SPACES)
         all_lines = stream.line_ids(s.line_size)
@@ -85,9 +102,7 @@ class CPUModel:
             local_lines = np.unique(
                 all_lines[stream.spaces == int(AddressSpace.LOCAL)]
             )
-            for lv in hier.levels:
-                for line in local_lines.tolist():
-                    lv.fill(line)
+            hier.fill(local_lines)
         lines = collapse_consecutive(all_lines)
         counts = hier.run(lines)
 
@@ -99,7 +114,7 @@ class CPUModel:
 
         inst_cycles = gt.inst_count / s.ipc
         barrier_cycles = gt.barriers * gt.work_items * s.barrier_cost
-        return CPUGroupCost(
+        cost = CPUGroupCost(
             inst_cycles=inst_cycles,
             mem_cycles=mem_cycles,
             barrier_cycles=barrier_cycles,
@@ -108,6 +123,9 @@ class CPUModel:
             memory_misses=counts.memory,
             prefetched=counts.prefetched,
         )
+        if self.memoize:
+            self._group_costs[key] = cost
+        return cost
 
     def time_kernel(self, trace: KernelTrace) -> float:
         """Total cycle estimate for the launch (single-thread-equivalent;

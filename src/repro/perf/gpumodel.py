@@ -20,13 +20,13 @@ most memory time with compute.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.ir.types import AddressSpace
-from repro.perf.cache import CacheHierarchy, SetAssocCache
 from repro.perf.devices import GPUSpec
+from repro.perf.fastcache import make_hierarchy, memo_enabled
 from repro.runtime.trace import GroupTrace, KernelTrace, MemEvent
 
 
@@ -43,74 +43,98 @@ class GPUGroupCost:
 
 
 class GPUModel:
-    def __init__(self, spec: GPUSpec) -> None:
+    def __init__(
+        self,
+        spec: GPUSpec,
+        memoize: Optional[bool] = None,
+        backend: Optional[str] = None,
+    ) -> None:
         self.spec = spec
+        #: reuse the simulated cost of groups with an identical
+        #: relative access pattern (see GroupTrace.fingerprint)
+        self.memoize = memo_enabled() if memoize is None else memoize
+        self.backend = backend
+        self._group_costs: Dict[bytes, GPUGroupCost] = {}
 
-    def _caches(self) -> CacheHierarchy:
+    def _caches(self):
         s = self.spec
-        levels = []
+        specs = []
         if s.global_l1:
-            levels.append(SetAssocCache(s.l1_kb, s.l1_assoc, s.line_size, "L1"))
-        levels.append(
-            SetAssocCache(s.l2_kb / s.compute_units, s.l2_assoc, s.line_size, "L2")
-        )
-        return CacheHierarchy(levels, prefetch=False)
+            specs.append((s.l1_kb, s.l1_assoc, s.line_size, "L1"))
+        specs.append((s.l2_kb / s.compute_units, s.l2_assoc, s.line_size, "L2"))
+        return make_hierarchy(specs, prefetch=False, backend=self.backend)
 
-    def _warp_slices(self, ev: MemEvent) -> List[np.ndarray]:
-        w = self.spec.warp_size
-        warps = ev.lanes // w
-        out = []
-        for wi in np.unique(warps):
-            out.append(ev.offsets[warps == wi])
-        return out
+    def _spm_degrees(self, ev: MemEvent) -> np.ndarray:
+        """Bank-conflict degree per warp: the maximum number of distinct
+        words wanted from one bank (broadcast of the same word is free)."""
+        s = self.spec
+        warps = ev.lanes // s.warp_size
+        words = ev.offsets // 4
+        banks = words % s.spm_banks
+        # distinct (warp, bank, word) requests, lexicographically sorted
+        tri = np.unique(np.stack([warps, banks, words], axis=1), axis=0)
+        # word count per (warp, bank) run, then max over each warp's banks
+        wb_change = np.empty(len(tri), dtype=bool)
+        wb_change[0] = True
+        wb_change[1:] = np.any(tri[1:, :2] != tri[:-1, :2], axis=1)
+        wb_starts = np.flatnonzero(wb_change)
+        counts = np.diff(np.append(wb_starts, len(tri)))
+        warp_of = tri[wb_starts, 0]
+        w_change = np.empty(len(warp_of), dtype=bool)
+        w_change[0] = True
+        w_change[1:] = warp_of[1:] != warp_of[:-1]
+        return np.maximum.reduceat(counts, np.flatnonzero(w_change))
+
+    def _transaction_lines(self, ev: MemEvent) -> np.ndarray:
+        """Coalesce a global/constant event into per-warp segment
+        transactions: one line id per distinct ``segment``-byte block
+        touched by each warp, warp-major, segments ascending."""
+        s = self.spec
+        warps = ev.lanes // s.warp_size
+        segs = ev.offsets // s.segment
+        pairs = np.unique(np.stack([warps, segs], axis=1), axis=0)
+        return (np.int64(ev.buffer_id) << 40) | pairs[:, 1].astype(np.int64)
 
     def time_group(self, gt: GroupTrace) -> GPUGroupCost:
+        if self.memoize:
+            key = gt.fingerprint()
+            cached = self._group_costs.get(key)
+            if cached is not None:
+                return cached
         s = self.spec
-        caches = self._caches()
-        mem_cycles = 0.0
         spm_cycles = 0.0
-        transactions = 0
-
+        streams: List[np.ndarray] = []
         for ev in gt.events:
             if ev.space == AddressSpace.LOCAL:
-                for offs in self._warp_slices(ev):
-                    words = offs // 4
-                    banks = words % s.spm_banks
-                    # conflict degree: distinct words per bank (broadcast
-                    # of the same word is free)
-                    degree = 1
-                    for b in np.unique(banks):
-                        nwords = len(np.unique(words[banks == b]))
-                        if nwords > degree:
-                            degree = nwords
-                    spm_cycles += degree * s.cost_spm
-                continue
-            # global/constant: coalescing into segments
-            for offs in self._warp_slices(ev):
-                segs = np.unique(offs // s.segment)
-                transactions += len(segs)
-                for seg in segs.tolist():
-                    line = (ev.buffer_id << 40) | seg
-                    served = -1
-                    for i, lv in enumerate(caches.levels):
-                        if lv.access(line):
-                            served = i
-                            break
-                    if served < 0:
-                        mem_cycles += s.cost_mem
-                    elif s.global_l1 and served == 0:
-                        mem_cycles += s.cost_l1
-                    else:
-                        mem_cycles += s.cost_l2
+                spm_cycles += int(self._spm_degrees(ev).sum()) * s.cost_spm
+            else:
+                streams.append(self._transaction_lines(ev))
+
+        mem_cycles = 0.0
+        transactions = 0
+        if streams:
+            stream = np.concatenate(streams)
+            transactions = len(stream)
+            counts = self._caches().run(stream)
+            level_costs = (
+                [s.cost_l1, s.cost_l2] if s.global_l1 else [s.cost_l2]
+            )
+            mem_cycles = sum(
+                h * c for h, c in zip(counts.level_hits, level_costs)
+            )
+            mem_cycles += counts.memory * s.cost_mem
 
         compute_cycles = gt.inst_count / s.issue_width
         hidden = 1.0 - s.latency_hiding
-        return GPUGroupCost(
+        cost = GPUGroupCost(
             compute_cycles=compute_cycles,
             mem_cycles=mem_cycles * hidden,
             spm_cycles=spm_cycles,
             transactions=transactions,
         )
+        if self.memoize:
+            self._group_costs[key] = cost
+        return cost
 
     def time_kernel(self, trace: KernelTrace) -> float:
         total = sum(self.time_group(g).cycles for g in trace.groups)

@@ -99,6 +99,7 @@ class GroupExecutor:
         local_buffers: Dict[LocalArray, Buffer],
         local_arg_buffers: Dict[Argument, Buffer],
         trace: Optional[GroupTrace] = None,
+        private_arena: Optional[List[Buffer]] = None,
     ) -> None:
         self.fn = fn
         self.ctx = ctx
@@ -113,6 +114,11 @@ class GroupExecutor:
         self._lane_ids = np.arange(self.n, dtype=np.int64)
         #: buffers allocated for private arrays; freed by the launcher
         self.private_buffers: List[Buffer] = []
+        #: launcher-owned buffer pool reused across work-groups: the
+        #: k-th alloca execution of each group maps to the k-th entry
+        #: (zeroed on reuse), so homogeneous groups allocate only once
+        self._arena = private_arena
+        self._arena_next = 0
         #: retired-instruction weight per block (casts and GEPs fold into
         #: addressing modes on real ISAs and are not counted)
         self._block_weight: Dict[BasicBlock, int] = {
@@ -328,8 +334,25 @@ class GroupExecutor:
         if isinstance(ty, ArrayType):
             # real per-work-item memory (addressable with GEP)
             size = ty.size
-            buf = self.memory.alloc(size * self.n, f"private:{inst.name or inst.id}")
-            self.private_buffers.append(buf)
+            nbytes = size * self.n
+            if self._arena is not None:
+                idx = self._arena_next
+                self._arena_next += 1
+                if idx < len(self._arena) and len(self._arena[idx].data) == nbytes:
+                    buf = self._arena[idx]
+                    buf.data[:] = 0  # fresh-allocation semantics
+                else:
+                    buf = self.memory.alloc(
+                        nbytes, f"private:{inst.name or inst.id}"
+                    )
+                    if idx < len(self._arena):
+                        self.memory.free(self._arena[idx])
+                        self._arena[idx] = buf
+                    else:
+                        self._arena.append(buf)
+            else:
+                buf = self.memory.alloc(nbytes, f"private:{inst.name or inst.id}")
+                self.private_buffers.append(buf)
             self.values[inst] = buf.base_addr + self._lane_ids * size
             return
         if isinstance(ty, VectorType):

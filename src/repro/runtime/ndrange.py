@@ -61,6 +61,17 @@ def launch(
     (pointer parameters) or python scalars.  ``local_arg_sizes`` gives
     byte sizes for ``__local`` *pointer parameters* (dynamic local
     memory, set on real OpenCL via ``clSetKernelArg(..., NULL)``).
+
+    ``sample_groups`` must be >= 1; the groups actually executed are an
+    evenly spread subset of exactly ``min(sample_groups, total_groups)``
+    groups (the linspace picks are strictly increasing once rounded, so
+    deduplication never shrinks the subset).  The realised count is
+    reported as ``LaunchResult.groups_executed`` and, when tracing, as
+    ``KernelTrace.sampled_groups``.
+
+    Local and private (``alloca``) arenas are allocated once and reused
+    (re-zeroed) across work-groups — group semantics are identical to a
+    fresh allocation per group, without the allocator churn.
     """
     if not kernel.is_kernel:
         raise RuntimeLaunchError(f"{kernel.name} is not a kernel")
@@ -117,16 +128,34 @@ def launch(
     total_groups = int(np.prod(groups_per_dim))
 
     # which groups to execute
-    if sample_groups is not None and sample_groups < total_groups:
-        picks = np.unique(
-            np.linspace(0, total_groups - 1, sample_groups).round().astype(int)
-        )
+    if sample_groups is not None:
+        if sample_groups < 1:
+            raise RuntimeLaunchError(
+                f"sample_groups must be >= 1, got {sample_groups}"
+            )
+        if sample_groups < total_groups:
+            picks = np.unique(
+                np.linspace(0, total_groups - 1, sample_groups).round().astype(int)
+            )
+        else:
+            picks = np.arange(total_groups)
     else:
         picks = np.arange(total_groups)
 
+    # __local and private (alloca) arenas are owned by the launch and
+    # reused (re-zeroed) across groups instead of alloc/free per group
+    local_buffers = {
+        la: memory.alloc(la.nbytes, f"local:{la.name}") for la in kernel.local_arrays
+    }
+    local_arg_buffers = {
+        a: memory.alloc(local_arg_sizes[a.name], f"local:{a.name}")
+        for a in local_ptr_args
+    }
+    private_arena: list = []
+
     group_traces = []
     work_items = 0
-    for flat in picks:
+    for i, flat in enumerate(picks):
         gid = []
         rem = int(flat)
         for d in range(ndim):
@@ -137,28 +166,27 @@ def launch(
         ctx = WorkItemContext(gid_t, lsize, gsize)
         work_items += ctx.n_lanes
 
-        local_buffers = {
-            la: memory.alloc(la.nbytes, f"local:{la.name}") for la in kernel.local_arrays
-        }
-        local_arg_buffers = {
-            a: memory.alloc(local_arg_sizes[a.name], f"local:{a.name}")
-            for a in local_ptr_args
-        }
+        if i:
+            for buf in local_buffers.values():
+                buf.data[:] = 0
+            for buf in local_arg_buffers.values():
+                buf.data[:] = 0
 
         gt = GroupTrace(gid_t, ctx.n_lanes) if collect_trace else None
         ex = GroupExecutor(
-            kernel, ctx, memory, arg_values, local_buffers, local_arg_buffers, gt
+            kernel, ctx, memory, arg_values, local_buffers, local_arg_buffers, gt,
+            private_arena=private_arena,
         )
         ex.run()
         if gt is not None:
             group_traces.append(gt)
 
-        for buf in local_buffers.values():
-            memory.free(buf)
-        for buf in local_arg_buffers.values():
-            memory.free(buf)
-        for buf in ex.private_buffers:
-            memory.free(buf)
+    for buf in local_buffers.values():
+        memory.free(buf)
+    for buf in local_arg_buffers.values():
+        memory.free(buf)
+    for buf in private_arena:
+        memory.free(buf)
 
     trace = (
         KernelTrace(group_traces, total_groups, lsize, gsize) if collect_trace else None

@@ -14,6 +14,7 @@ A trace is organised the way the devices consume it:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
@@ -53,9 +54,55 @@ class GroupTrace:
     #: dynamic instruction count summed over work-items
     inst_count: int = 0
     barriers: int = 0
+    _fingerprint: Optional[bytes] = field(default=None, repr=False, compare=False)
 
     def accesses(self, space: Optional[AddressSpace] = None) -> int:
         return sum(e.count for e in self.events if space is None or e.space == space)
+
+    def fingerprint(self) -> bytes:
+        """Digest of the group's *relative* access pattern.
+
+        Two groups of a homogeneous kernel touch the same buffers with
+        the same per-event shapes, store flags, lane patterns and
+        barrier structure — only the base offset into each buffer
+        differs.  The fingerprint therefore hashes, per event: the
+        buffer's first-appearance slot (not its id), the address
+        space, store flag, element size, barrier phase, lane ids, and
+        offsets relative to the buffer's minimum offset over the whole
+        group — plus the group's work-item/instruction/barrier counts.
+        Groups with equal fingerprints produce identical relative
+        streams, which the performance models use to reuse simulation
+        results (see ``REPRO_PERF_MEMO``).  The digest is cached;
+        traces are immutable once the interpreter returns them.
+        """
+        if self._fingerprint is None:
+            base: dict = {}
+            for e in self.events:
+                if len(e.offsets):
+                    lo = int(np.asarray(e.offsets).min())
+                    prior = base.get(e.buffer_id)
+                    base[e.buffer_id] = lo if prior is None else min(prior, lo)
+            slots: dict = {}
+            h = hashlib.blake2b(digest_size=16)
+            h.update(
+                np.array(
+                    [self.work_items, self.inst_count, self.barriers], np.int64
+                ).tobytes()
+            )
+            for e in self.events:
+                slot = slots.setdefault(e.buffer_id, len(slots))
+                h.update(
+                    np.array(
+                        [slot, int(e.space), int(e.is_store), e.elem_size,
+                         e.phase, e.inst_id],
+                        np.int64,
+                    ).tobytes()
+                )
+                rel = np.asarray(e.offsets, np.int64) - base.get(e.buffer_id, 0)
+                h.update(rel.tobytes())
+                h.update(np.asarray(e.lanes, np.int64).tobytes())
+            self._fingerprint = h.digest()
+        return self._fingerprint
 
     def serialized(self, spaces: Tuple[AddressSpace, ...]) -> "SerializedStream":
         """Re-serialise events the way a CPU runtime executes the group.

@@ -1,0 +1,213 @@
+"""Fast-path cache simulation must be bit-identical to the reference.
+
+The vectorised simulator in ``repro.perf.fastcache`` is only allowed to
+change wall-clock time, never a modeled number: these tests drive both
+implementations with the same randomized streams (strided, column,
+streaming and uniform-random patterns, plus warm fills and chunked
+incremental access) and require identical per-access hit masks,
+``CacheStats`` and ``HierarchyCounts`` — including the next-line
+prefetcher's 4 KiB page-boundary rule.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perf.cache import CacheHierarchy, SetAssocCache
+from repro.perf.fastcache import (
+    FastCacheHierarchy,
+    FastSetAssocCache,
+    cache_backend,
+    lru_hits,
+    make_hierarchy,
+    set_cache_backend,
+)
+
+# -- stream generators ----------------------------------------------------------
+
+
+def _pattern_stream(pattern: str, n: int, stride: int, span: int) -> np.ndarray:
+    i = np.arange(n, dtype=np.int64)
+    if pattern == "streaming":
+        return i % span
+    if pattern == "strided":
+        return (i * stride) % span
+    if pattern == "column":
+        # row-major matrix walked down a column: large power-of-two-ish
+        # stride, the paper's conflict-miss workhorse
+        return (i * 64) % span
+    raise AssertionError(pattern)
+
+
+pattern_st = st.sampled_from(["streaming", "strided", "column"])
+
+
+# -- single level ---------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pattern=pattern_st,
+    n=st.integers(1, 300),
+    stride=st.integers(1, 17),
+    span=st.integers(1, 4096),
+    size_kb=st.sampled_from([0.5, 1, 2, 4]),
+    assoc=st.sampled_from([1, 2, 4, 8]),
+)
+def test_single_level_matches_reference(pattern, n, stride, span, size_kb, assoc):
+    lines = _pattern_stream(pattern, n, stride, span)
+    ref = SetAssocCache(size_kb, assoc)
+    fast = FastSetAssocCache(size_kb, assoc)
+    ref_hits = np.array([ref.access(int(l)) for l in lines.tolist()])
+    fast_hits = fast.access_many(lines)
+    assert np.array_equal(ref_hits, fast_hits)
+    assert (ref.stats.accesses, ref.stats.hits) == (
+        fast.stats.accesses,
+        fast.stats.hits,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(0, 250),
+    n_chunks=st.integers(1, 5),
+    warm=st.integers(0, 30),
+    assoc=st.sampled_from([2, 4, 8]),
+)
+def test_random_stream_with_fills_and_chunks(seed, n, n_chunks, warm, assoc):
+    """Uniform-random lines, warm fills first, then incremental batches."""
+    rng = np.random.default_rng(seed)
+    lines = rng.integers(0, 300, n).astype(np.int64)
+    warm_lines = rng.integers(0, 300, warm).astype(np.int64)
+    ref = SetAssocCache(1, assoc)
+    fast = FastSetAssocCache(1, assoc)
+    for w in warm_lines.tolist():
+        ref.fill(w)
+    fast.fill_many(warm_lines)
+    ref_hits = np.array([ref.access(int(l)) for l in lines.tolist()], dtype=bool)
+    cuts = np.sort(rng.integers(0, n + 1, n_chunks - 1))
+    chunks = [c for c in np.split(lines, cuts)]
+    got = [fast.access_many(c) for c in chunks]
+    fast_hits = np.concatenate(got) if got else np.zeros(0, bool)
+    assert np.array_equal(ref_hits, fast_hits)
+    assert (ref.stats.accesses, ref.stats.hits) == (
+        fast.stats.accesses,
+        fast.stats.hits,
+    )
+
+
+def test_scalar_shims():
+    ref = SetAssocCache(0.5, 2)
+    fast = FastSetAssocCache(0.5, 2)
+    for line in [1, 2, 1, 9, 17, 1, 2]:
+        assert ref.access(line) == fast.access(line)
+    ref.fill(5)
+    fast.fill(5)
+    assert ref.access(5) == fast.access(5) is True
+    assert (ref.stats.accesses, ref.stats.hits) == (
+        fast.stats.accesses,
+        fast.stats.hits,
+    )
+
+
+def test_lru_hits_empty_stream():
+    assert lru_hits(np.empty(0, np.int64), 8, 2).shape == (0,)
+
+
+def test_conflicted_set_exact_eviction_order():
+    """A 2-way set cycled through 3 lines must miss every time."""
+    lines = np.array([0, 8, 16, 0, 8, 16, 0, 8, 16], dtype=np.int64)
+    hits = lru_hits(lines, 8, 2)  # all map to set 0
+    assert not hits.any()
+    # with 3 ways everything after the first round hits
+    hits3 = lru_hits(lines, 8, 3)
+    assert hits3.sum() == 6
+
+
+# -- hierarchy (incl. prefetch page rule) --------------------------------------
+
+
+def _hier_pair(specs, prefetch):
+    ref = CacheHierarchy([SetAssocCache(*s) for s in specs], prefetch=prefetch)
+    fast = FastCacheHierarchy(
+        [FastSetAssocCache(*s) for s in specs], prefetch=prefetch
+    )
+    return ref, fast
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    pattern=st.sampled_from(["streaming", "strided", "column", "random"]),
+    n=st.integers(1, 400),
+    prefetch=st.booleans(),
+    warm=st.integers(0, 25),
+)
+def test_hierarchy_counts_match(seed, pattern, n, prefetch, warm):
+    rng = np.random.default_rng(seed)
+    if pattern == "random":
+        lines = rng.integers(0, 400, n).astype(np.int64)
+    else:
+        lines = _pattern_stream(pattern, n, int(rng.integers(1, 9)), 311)
+    specs = [(1, 2, 64, "L1"), (4, 8, 64, "L2")]
+    ref, fast = _hier_pair(specs, prefetch)
+    warm_lines = np.unique(rng.integers(0, 100, warm)).astype(np.int64)
+    ref.fill(warm_lines)
+    fast.fill(warm_lines)
+    a, b = ref.run(lines), fast.run(lines)
+    assert a.level_hits == b.level_hits
+    assert a.memory == b.memory
+    assert a.prefetched == b.prefetched
+    assert a.total == b.total == len(lines)
+
+
+def test_prefetch_page_boundary_rule():
+    """Sequential misses prefetch, except the first line of a 4 KiB page."""
+    # 64-byte lines -> 64 lines per page; a long cold streaming run
+    lines = np.arange(0, 130, dtype=np.int64)
+    specs = [(0.5, 1, 64, "L1")]
+    ref, fast = _hier_pair(specs, prefetch=True)
+    a, b = ref.run(lines), fast.run(lines)
+    assert (a.memory, a.prefetched) == (b.memory, b.prefetched)
+    # misses at lines 64 and 128 start new pages: not prefetched
+    assert a.prefetched == 130 - 1 - 2
+
+
+# -- backend plumbing -----------------------------------------------------------
+
+
+def test_make_hierarchy_backends():
+    specs = [(1, 2, 64, "L1")]
+    assert isinstance(make_hierarchy(specs, backend="fast"), FastCacheHierarchy)
+    assert isinstance(make_hierarchy(specs, backend="reference"), CacheHierarchy)
+    with pytest.raises(ValueError):
+        make_hierarchy(specs, backend="nope")
+
+
+def test_set_cache_backend_roundtrip():
+    prev = set_cache_backend("reference")
+    try:
+        assert cache_backend() == "reference"
+        specs = [(1, 2, 64, "L1")]
+        assert isinstance(make_hierarchy(specs), CacheHierarchy)
+    finally:
+        set_cache_backend(prev)
+    assert cache_backend() == prev
+
+
+def test_env_var_overrides_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_BACKEND", "reference")
+    assert cache_backend() == "reference"
+    monkeypatch.setenv("REPRO_CACHE_BACKEND", "bogus")
+    with pytest.raises(ValueError):
+        cache_backend()
+
+
+def test_reset_clears_history():
+    fast = FastSetAssocCache(0.5, 2)
+    fast.access_many(np.array([1, 2, 3], dtype=np.int64))
+    fast.reset()
+    assert fast.stats.accesses == 0
+    # after reset, line 1 is cold again
+    assert not fast.access_many(np.array([1], dtype=np.int64))[0]

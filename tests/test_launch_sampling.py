@@ -1,0 +1,100 @@
+"""``launch(sample_groups=...)`` edge cases and extrapolation.
+
+The performance models run only a sampled subset of work-groups and
+extrapolate via ``KernelTrace.scale``; these tests pin down the exact
+sampling contract: the realised count is ``min(sample_groups,
+total_groups)`` (the rounded linspace picks are strictly increasing, so
+deduplication never shrinks them), ``sample_groups`` must be >= 1, and
+extrapolated quantities stay consistent with a full run on a
+homogeneous kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_kernel
+from repro.runtime import Memory, launch
+from repro.runtime.errors import RuntimeLaunchError
+
+from tests.conftest import MT_SOURCE
+
+
+def _mt_launch(n=64, sample_groups=None, collect_trace=True):
+    kernel = compile_kernel(MT_SOURCE)
+    mem = Memory()
+    a = np.arange(n * n, dtype=np.float32).reshape(n, n)
+    inb, outb = mem.from_array(a), mem.alloc(a.nbytes)
+    res = launch(
+        kernel,
+        (n, n),
+        (16, 16),
+        {"in": inb, "out": outb, "W": n, "H": n},
+        collect_trace=collect_trace,
+        sample_groups=sample_groups,
+    )
+    return res, outb, a
+
+
+def test_sample_one_group():
+    res, _, _ = _mt_launch(sample_groups=1)
+    assert res.groups_executed == 1
+    assert res.trace.sampled_groups == 1
+    assert res.trace.total_groups == 16
+    assert res.trace.scale == 16.0
+
+
+def test_sample_more_than_total_runs_all():
+    res, outb, a = _mt_launch(sample_groups=999)
+    assert res.groups_executed == 16
+    assert res.trace.sampled_groups == 16
+    assert res.trace.scale == 1.0
+    # every group ran, so the output is the complete transpose
+    got = outb.read(np.float32, a.size).reshape(a.shape)
+    np.testing.assert_array_equal(got, a.T)
+
+
+@pytest.mark.parametrize("bad", [0, -1, -7])
+def test_sample_groups_must_be_positive(bad):
+    with pytest.raises(RuntimeLaunchError, match="sample_groups"):
+        _mt_launch(sample_groups=bad)
+
+
+@pytest.mark.parametrize("requested", [1, 2, 3, 5, 7, 11, 15, 16, 17])
+def test_realised_count_is_min_of_requested_and_total(requested):
+    res, _, _ = _mt_launch(sample_groups=requested)
+    assert res.groups_executed == min(requested, 16)
+    assert res.trace.sampled_groups == min(requested, 16)
+
+
+def test_extrapolation_consistency():
+    """On a homogeneous kernel, scaled sampled counts equal full counts."""
+    full, _, _ = _mt_launch(sample_groups=None)
+    sampled, _, _ = _mt_launch(sample_groups=4)
+    assert sampled.trace.scale == pytest.approx(4.0)
+    assert sampled.trace.total_inst_count() == pytest.approx(
+        full.trace.total_inst_count()
+    )
+    full_accesses = sum(g.accesses() for g in full.trace.groups)
+    sampled_accesses = sampled.trace.scale * sum(
+        g.accesses() for g in sampled.trace.groups
+    )
+    assert sampled_accesses == pytest.approx(full_accesses)
+
+
+def test_arena_reuse_keeps_group_isolation():
+    """Reused local/private arenas must behave like fresh allocations:
+    a full unsampled run still produces the exact transpose (any stale
+    local-memory state would corrupt tiles of later groups)."""
+    _, outb, a = _mt_launch(sample_groups=None)
+    got = outb.read(np.float32, a.size).reshape(a.shape)
+    np.testing.assert_array_equal(got, a.T)
+
+
+def test_fingerprints_dedupe_homogeneous_groups():
+    """All 16 transpose groups share one relative access pattern."""
+    res, _, _ = _mt_launch(sample_groups=None)
+    prints = {g.fingerprint() for g in res.trace.groups}
+    assert len(prints) == 1
+    # and the digest is cached, not recomputed
+    g = res.trace.groups[0]
+    assert g.fingerprint() is g.fingerprint()
