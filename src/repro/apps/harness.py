@@ -40,10 +40,43 @@ def run_app(
     scale: str = "test",
     collect_trace: bool = False,
     sample_groups: Optional[int] = None,
+    workers: Optional[int] = None,
     **grover_kwargs,
 ) -> AppRun:
-    """Compile (optionally transform) and execute one application."""
+    """Compile (optionally transform) and execute one application.
+
+    ``workers`` shards the launch over processes; see ``launch``.
+    """
     kernel, report = compile_app(app, variant, **grover_kwargs)
+    return execute_app(
+        app,
+        kernel,
+        variant=variant,
+        scale=scale,
+        collect_trace=collect_trace,
+        sample_groups=sample_groups,
+        workers=workers,
+        report=report,
+    )
+
+
+def execute_app(
+    app: App,
+    kernel: Function,
+    variant: str = "with",
+    scale: str = "test",
+    collect_trace: bool = False,
+    sample_groups: Optional[int] = None,
+    workers: Optional[int] = None,
+    report: Optional[GroverReport] = None,
+) -> AppRun:
+    """Execute an already-compiled kernel for ``app``.
+
+    Splitting execution from :func:`compile_app` lets the differential
+    suite launch one kernel object serially *and* sharded — transformed
+    kernels get fresh instruction ids at every compile, so event-stream
+    bit-identity is only defined per compiled kernel.
+    """
     problem = app.make_problem(scale)
 
     mem = Memory()
@@ -72,6 +105,7 @@ def run_app(
         local_arg_sizes=problem.local_arg_sizes or None,
         collect_trace=collect_trace,
         sample_groups=sample_groups,
+        workers=workers,
     )
     for name, expected in problem.expected.items():
         out_arrays[name] = (

@@ -8,7 +8,12 @@ Subcommands:
 
 * ``python -m repro.cli bench [...]`` — the perf regression harness
   (see :mod:`repro.perf.bench`): times compile→launch→trace→cycles for
-  the headline workloads and writes ``BENCH_pipeline.json``.
+  the headline workloads and writes ``BENCH_pipeline.json``; with
+  ``--workers N`` it also times (and differentially verifies) the
+  sharded launches and the parallel experiment matrix.
+* ``python -m repro.cli matrix [...]`` — the (app × device) experiment
+  matrix (Table IV / Fig. 10 / extension-GPU scoring), optionally
+  fanned out with ``--workers N`` (see :mod:`repro.parallel.matrix`).
 """
 
 from __future__ import annotations
@@ -61,6 +66,10 @@ def main(argv=None) -> int:
         from repro.perf.bench import main as bench_main
 
         return bench_main(list(argv[1:]))
+    if argv and argv[0] == "matrix":
+        from repro.parallel.matrix import main as matrix_main
+
+        return matrix_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     source = Path(args.file).read_text()
     defines = {}

@@ -4,6 +4,11 @@ Traces are device-independent, so each (application, variant) is
 executed once at the requested scale and then timed on every device
 model; results are memoised process-wide because pytest-benchmark runs
 each benchmark body several times.
+
+``figure10``/``table4`` accept ``workers=N`` to fan the matrix out over
+the process-pool engine (:func:`repro.parallel.run_matrix`); parallel
+values are bit-identical to serial ones and are folded into the same
+process-wide memo, so mixed serial/parallel callers stay consistent.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.apps.harness import run_app
 from repro.apps.registry import TABLE_ORDER, get_app, table_apps
+from repro.parallel.matrix import MatrixResult, run_matrix  # noqa: F401  (re-export)
 from repro.perf.devices import CPU_DEVICES, GPU_DEVICES
 from repro.perf.timing import classify, estimate_cost
 from repro.runtime.trace import KernelTrace
@@ -63,7 +69,36 @@ class Fig10Series:
         return {a: classify(v, threshold) for a, v in self.values.items()}
 
 
-def figure10(device_name: str, scale: str = "bench") -> Fig10Series:
+def _prefill_np_cache(
+    devices: Tuple[str, ...], workers: Optional[int], scale: str
+) -> None:
+    """Fan the (app × device) grid out over worker processes.
+
+    The parallel engine's values are bit-identical to the serial path,
+    so they land in ``_np_cache`` and every downstream consumer —
+    serial or parallel — reads the same floats.
+    """
+    from repro.parallel.matrix import run_matrix
+
+    missing = [
+        dev for dev in devices
+        if any((a, dev, scale) not in _np_cache for a in TABLE_ORDER)
+    ]
+    if not missing:
+        return
+    matrix = run_matrix(
+        apps=TABLE_ORDER, devices=missing, workers=workers, scale=scale
+    )
+    for dev, per_app in matrix.values.items():
+        for app_id, value in per_app.items():
+            _np_cache[(app_id, dev, scale)] = value
+
+
+def figure10(
+    device_name: str, scale: str = "bench", workers: Optional[int] = None
+) -> Fig10Series:
+    if workers is not None and workers > 1:
+        _prefill_np_cache((device_name,), workers, scale)
     series = Fig10Series(device_name)
     for app_id in TABLE_ORDER:
         series.values[app_id] = normalized_perf(app_id, device_name, scale)
@@ -89,7 +124,13 @@ class Table4:
         return sum(self.totals.values())
 
 
-def table4(scale: str = "bench", threshold: float = 0.05) -> Table4:
+def table4(
+    scale: str = "bench",
+    threshold: float = 0.05,
+    workers: Optional[int] = None,
+) -> Table4:
+    if workers is not None and workers > 1:
+        _prefill_np_cache(tuple(CPU_DEVICES), workers, scale)
     per_device = {}
     for dev in CPU_DEVICES:
         series = figure10(dev, scale)

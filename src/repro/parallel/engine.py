@@ -1,0 +1,286 @@
+"""Shared-nothing process-pool execution for sharded kernel launches.
+
+Each worker receives one pickled payload — the kernel IR, every argument
+buffer's bytes, the launch geometry and the parent ``Memory``'s next
+buffer id — rebuilds a private :class:`~repro.runtime.buffers.Memory`
+with the *same buffer ids* the parent would have used, and runs a
+contiguous range of the canonical pick list through the ordinary serial
+``launch`` path (so arena reuse, zeroing semantics and event recording
+are the very code serial execution uses).  It ships back its
+``GroupTrace`` list plus a sparse byte-diff of every argument buffer;
+the parent reassembles traces and buffer writes in shard order.
+
+Determinism contract (see DESIGN.md §9): for kernels whose work-groups
+are independent — the OpenCL execution model's own requirement — the
+merged result is bit-identical to a serial launch: same event streams,
+same buffer ids, same output bytes, same model cycles.  ``__local``
+arena buffer ids appear in traces, so workers replicate the parent's
+allocation sequence by starting from the parent's ``_next_id``;
+private (``alloca``) accesses are never traced, so their ids cannot
+leak into results.
+
+Failure contract: problems *setting up* the pool (or unpicklable
+payloads) fall back to serial execution silently; a worker failing
+*mid-shard* raises :class:`RuntimeLaunchError` naming the flat group
+range that failed — never a raw ``multiprocessing`` traceback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.parallel.sharding import merge_group_traces, shard_ranges
+from repro.runtime.errors import RuntimeLaunchError
+
+#: environment default for every ``workers=None`` entry point; setting
+#: ``REPRO_WORKERS=1`` is the global escape hatch that forces serial
+#: execution everywhere without touching call sites
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Normalise a ``workers`` argument to an ``int >= 1``.
+
+    ``None`` falls back to ``$REPRO_WORKERS``, then to 1 (serial).
+    Anything that is not a positive integer — including bools and
+    numeric strings passed programmatically — raises ``ValueError``;
+    callers in the runtime wrap that into ``RuntimeLaunchError``.
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env is None:
+            return 1
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ValueError(
+                f"${WORKERS_ENV} must be a positive integer, got {env!r}"
+            ) from None
+        if workers < 1:
+            raise ValueError(
+                f"${WORKERS_ENV} must be a positive integer, got {env!r}"
+            )
+        return workers
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ValueError(
+            f"workers must be a positive integer or None, got {workers!r}"
+        )
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def make_pool(n_workers: int) -> Optional[ProcessPoolExecutor]:
+    """A process pool, or ``None`` when one cannot be created here.
+
+    Prefers the cheap ``fork`` start method where the platform offers
+    it.  Pool-creation failures (restricted sandboxes, missing
+    semaphores) are a *fallback* condition, not an error — callers run
+    serially instead.
+    """
+    try:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        return ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx)
+    except Exception:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# launch-level sharding
+# ---------------------------------------------------------------------------
+
+
+def _serialize_launch(
+    kernel,
+    global_size: Tuple[int, ...],
+    local_size: Tuple[int, ...],
+    args: Dict[str, object],
+    memory,
+    local_arg_sizes: Optional[Dict[str, int]],
+    collect_trace: bool,
+    sample_groups: Optional[int],
+) -> bytes:
+    """One payload for every shard of a launch (pickled exactly once)."""
+    from repro.runtime.buffers import Buffer
+
+    buffers: Dict[int, Tuple[int, str, bytes]] = {}
+    arg_spec: Dict[str, Tuple[str, object]] = {}
+    for name, value in args.items():
+        if isinstance(value, Buffer):
+            # keyed by id so aliased arguments stay aliased in the worker
+            buffers[value.id] = (value.nbytes, value.name, value.data.tobytes())
+            arg_spec[name] = ("buf", value.id)
+        else:
+            arg_spec[name] = ("scalar", value)
+    payload = {
+        "kernel": kernel,
+        "global_size": global_size,
+        "local_size": local_size,
+        "buffers": buffers,
+        "args": arg_spec,
+        "local_arg_sizes": dict(local_arg_sizes) if local_arg_sizes else None,
+        "collect_trace": collect_trace,
+        "sample_groups": sample_groups,
+        "next_id": memory._next_id,
+    }
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _launch_shard(payload_bytes: bytes, shard_index: int, lo: int, hi: int) -> dict:
+    """Worker: execute picks[lo:hi] of the payload's launch.
+
+    Returns a result dict, or an ``{"error": ...}`` dict — exceptions
+    are shipped back as text so the parent can raise a launch error
+    with the failing group range instead of a multiprocessing dump.
+    """
+    try:
+        from repro.runtime.buffers import Buffer
+        from repro.runtime.ndrange import launch
+
+        p = pickle.loads(payload_bytes)
+        from repro.runtime.buffers import Memory
+
+        mem = Memory()
+        for buf_id in sorted(p["buffers"]):
+            nbytes, name, raw = p["buffers"][buf_id]
+            buf = Buffer(mem, buf_id, nbytes, name)
+            data = np.frombuffer(raw, dtype=np.uint8)
+            buf.data[: len(data)] = data
+            mem.buffers[buf_id] = buf
+        # arena allocations must consume the very ids the parent's serial
+        # loop would have handed out — they appear in LOCAL trace events
+        mem._next_id = p["next_id"]
+
+        args = {
+            name: mem.buffers[value] if kind == "buf" else value
+            for name, (kind, value) in p["args"].items()
+        }
+        before = {buf_id: mem.buffers[buf_id].data.copy() for buf_id in p["buffers"]}
+
+        res = launch(
+            p["kernel"],
+            p["global_size"],
+            p["local_size"],
+            args,
+            memory=mem,
+            local_arg_sizes=p["local_arg_sizes"],
+            collect_trace=p["collect_trace"],
+            sample_groups=p["sample_groups"],
+            workers=1,
+            _group_slice=(lo, hi),
+        )
+
+        diffs: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        for buf_id, prev in before.items():
+            data = mem.buffers[buf_id].data
+            changed = np.flatnonzero(data != prev)
+            if len(changed):
+                diffs[buf_id] = (changed, data[changed].copy())
+        return {
+            "shard": shard_index,
+            "traces": res.trace.groups if res.trace is not None else None,
+            "work_items": res.work_items,
+            "groups_executed": res.groups_executed,
+            "diffs": diffs,
+            "next_id": mem._next_id,
+        }
+    except Exception as exc:
+        return {
+            "shard": shard_index,
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+
+
+def parallel_launch(
+    kernel,
+    global_size: Tuple[int, ...],
+    local_size: Tuple[int, ...],
+    args: Dict[str, object],
+    memory,
+    local_arg_sizes: Optional[Dict[str, int]],
+    collect_trace: bool,
+    sample_groups: Optional[int],
+    picks: np.ndarray,
+    total_groups: int,
+    workers: int,
+):
+    """Run a launch sharded over ``workers`` processes.
+
+    Returns a ``LaunchResult`` bit-identical to the serial one, or
+    ``None`` when the pool or payload is unavailable (the caller then
+    falls through to its serial loop).  Worker failures mid-shard raise
+    :class:`RuntimeLaunchError` with the failing flat group range.
+    """
+    from repro.runtime.ndrange import LaunchResult
+    from repro.runtime.trace import KernelTrace
+
+    try:
+        payload = _serialize_launch(
+            kernel, global_size, local_size, args, memory,
+            local_arg_sizes, collect_trace, sample_groups,
+        )
+    except Exception:
+        return None  # unpicklable payload -> serial fallback
+
+    ranges = shard_ranges(len(picks), workers)
+    if len(ranges) < 2:
+        return None
+
+    pool = make_pool(len(ranges))
+    if pool is None:
+        return None
+
+    def group_span(lo: int, hi: int) -> str:
+        return f"flat groups {int(picks[lo])}..{int(picks[hi - 1])} (picks {lo}:{hi})"
+
+    results = []
+    with pool:
+        futures = [
+            (pool.submit(_launch_shard, payload, i, lo, hi), i, lo, hi)
+            for i, (lo, hi) in enumerate(ranges)
+        ]
+        for fut, i, lo, hi in futures:
+            try:
+                r = fut.result()
+            except BaseException as exc:
+                raise RuntimeLaunchError(
+                    f"parallel launch worker for shard {i} "
+                    f"({group_span(lo, hi)}) died: {type(exc).__name__}: {exc}"
+                ) from exc
+            if "error" in r:
+                raise RuntimeLaunchError(
+                    f"parallel launch worker for shard {i} "
+                    f"({group_span(lo, hi)}) failed: {r['error']}\n"
+                    f"{r['traceback']}"
+                )
+            results.append(r)
+
+    results.sort(key=lambda r: r["shard"])
+
+    # canonical-order merge: traces first, then buffer diffs in shard
+    # order (ascending group ids), matching serial last-writer-wins
+    trace = None
+    if collect_trace:
+        groups = merge_group_traces([(r["shard"], r["traces"]) for r in results])
+        trace = KernelTrace(groups, total_groups, local_size, global_size)
+    for r in results:
+        for buf_id, (idx, vals) in r["diffs"].items():
+            memory.buffers[buf_id].data[idx] = vals
+    # every worker allocated the same arena sequence; keep the parent's
+    # id counter where a serial launch would have left it
+    memory._next_id = max(memory._next_id, max(r["next_id"] for r in results))
+
+    return LaunchResult(
+        trace=trace,
+        groups_executed=sum(r["groups_executed"] for r in results),
+        work_items=sum(r["work_items"] for r in results),
+    )

@@ -13,18 +13,28 @@ group-trace memoization).  Before timing, the harness asserts that the
 fast backend — with memoization off — reproduces the oracle's per-group
 hit/miss/prefetch counts exactly; a mismatch is a hard failure, not a
 recorded number.
+
+With ``--workers N`` (N > 1) two parallel stages are added, both
+differentially verified before their wall-clock is recorded: a sharded
+launch per app (``launch_trace_parallel_s``, traces asserted
+bit-identical to the serial ones) and the Table IV experiment matrix
+serial-vs-fanned-out (``parallel_matrix``, values asserted equal
+float-for-float).  ``host_cpus`` is recorded alongside — on a
+single-core host the parallel numbers measure overhead, not speedup.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 from typing import Dict, List, Optional, Sequence
 
-from repro.apps.harness import run_app
+from repro.apps.harness import compile_app, execute_app
 from repro.apps.registry import get_app
 from repro.frontend import clear_compile_cache, compile_kernel
+from repro.parallel.diff import DifferentialMismatch, assert_traces_equal
 from repro.perf import devices
 from repro.perf.cpumodel import CPUModel
 from repro.perf.gpumodel import GPUModel
@@ -33,7 +43,7 @@ from repro.runtime.trace import KernelTrace
 #: app ids benchmarked by default: transpose, tiled matmul, stencil
 DEFAULT_APPS = ("NVD-MT", "NVD-MM-B", "PAB-ST")
 DEFAULT_SAMPLE_GROUPS = 16
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 class EquivalenceError(AssertionError):
@@ -71,6 +81,7 @@ def bench_app(
     scale: str = "bench",
     sample_groups: int = DEFAULT_SAMPLE_GROUPS,
     variants: Sequence[str] = ("with", "without"),
+    workers: int = 1,
 ) -> Dict:
     """Time each pipeline stage for one app; returns a JSON-ready dict."""
     app = get_app(app_id)
@@ -89,15 +100,39 @@ def bench_app(
     out["stages"]["compile_cached_s"] = t3 - t2
 
     # -- launch + trace -------------------------------------------------------
+    # one kernel object per variant: event-stream bit-identity (inst ids
+    # included) is defined per compiled kernel, and the parallel stage
+    # below must diff against the very same object
+    kernels = {var: compile_app(app, var)[0] for var in variants}
     traces: Dict[str, KernelTrace] = {}
     t0 = time.perf_counter()
     for var in variants:
-        run = run_app(
-            app, var, scale, collect_trace=True, sample_groups=sample_groups
+        run = execute_app(
+            app, kernels[var], variant=var, scale=scale,
+            collect_trace=True, sample_groups=sample_groups,
         )
         traces[var] = run.trace
     t1 = time.perf_counter()
     out["stages"]["launch_trace_s"] = t1 - t0
+
+    # -- launch + trace, sharded over workers ---------------------------------
+    if workers > 1:
+        t0 = time.perf_counter()
+        par_traces = {
+            var: execute_app(
+                app, kernels[var], variant=var, scale=scale,
+                collect_trace=True, sample_groups=sample_groups,
+                workers=workers,
+            ).trace
+            for var in variants
+        }
+        t1 = time.perf_counter()
+        for var in variants:  # differential gate before recording
+            assert_traces_equal(
+                traces[var], par_traces[var], f"{app_id}[{var}] workers={workers}"
+            )
+        out["stages"]["launch_trace_parallel_s"] = t1 - t0
+        out["launch_workers"] = workers
 
     # -- trace -> cycles ------------------------------------------------------
     cpu_spec, gpu_spec = devices.SNB, devices.FERMI
@@ -124,20 +159,63 @@ def bench_app(
     return out
 
 
+def bench_matrix(workers: int, scale: str = "bench") -> Dict:
+    """Time the Table IV experiment matrix serial vs fanned-out.
+
+    Both runs start from cold caches; the parallel grid must equal the
+    serial grid float-for-float before any wall-clock is recorded.
+    """
+    from repro.experiments import clear_caches
+    from repro.parallel.diff import assert_matrix_equal
+    from repro.parallel.matrix import run_matrix
+
+    out: Dict = {
+        "scale": scale,
+        "workers": workers,
+        "host_cpus": os.cpu_count() or 1,
+    }
+    clear_caches()
+    t0 = time.perf_counter()
+    serial = run_matrix(workers=1, scale=scale)
+    out["serial_s"] = time.perf_counter() - t0
+
+    clear_caches()
+    t0 = time.perf_counter()
+    parallel = run_matrix(workers=workers, scale=scale)
+    out["parallel_s"] = time.perf_counter() - t0
+
+    try:
+        assert_matrix_equal(serial.values, parallel.values, f"workers={workers}")
+    except DifferentialMismatch as exc:
+        raise EquivalenceError(str(exc)) from None
+    out["cases"] = serial.cases
+    out["speedup"] = (
+        out["serial_s"] / out["parallel_s"] if out["parallel_s"] > 0 else float("inf")
+    )
+    out["retried"] = parallel.retried
+    out["equivalence"] = "exact"
+    return out
+
+
 def run_bench(
     apps: Sequence[str] = DEFAULT_APPS,
     scale: str = "bench",
     sample_groups: int = DEFAULT_SAMPLE_GROUPS,
+    workers: int = 1,
 ) -> Dict:
     results = {
         "schema": SCHEMA_VERSION,
         "description": "wall-clock seconds per pipeline stage "
-        "(compile / launch+trace / trace->cycles, reference vs fast path)",
+        "(compile / launch+trace / trace->cycles, reference vs fast path; "
+        "parallel stages are differentially verified before timing)",
         "devices": {"cpu": devices.SNB.name, "gpu": devices.FERMI.name},
+        "host_cpus": os.cpu_count() or 1,
         "apps": {},
     }
     for app_id in apps:
-        results["apps"][app_id] = bench_app(app_id, scale, sample_groups)
+        results["apps"][app_id] = bench_app(app_id, scale, sample_groups, workers=workers)
+    if workers > 1:
+        results["parallel_matrix"] = bench_matrix(workers, scale)
     return results
 
 
@@ -151,14 +229,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="comma-separated app ids")
     p.add_argument("--scale", default="bench", help="problem scale")
     p.add_argument("--sample-groups", type=int, default=DEFAULT_SAMPLE_GROUPS)
+    p.add_argument("--workers", type=int, default=None,
+                   help="also time sharded launches and the parallel "
+                   "experiment matrix with this many workers "
+                   "(default: $REPRO_WORKERS, then 1 = serial only)")
     p.add_argument("--json", dest="json_path", default="BENCH_pipeline.json",
                    help="output file ('-' for stdout only)")
     args = p.parse_args(argv)
+
+    from repro.parallel.engine import resolve_workers
 
     results = run_bench(
         [a.strip() for a in args.apps.split(",") if a.strip()],
         args.scale,
         args.sample_groups,
+        workers=resolve_workers(args.workers),
     )
     text = json.dumps(results, indent=2, sort_keys=True)
     if args.json_path != "-":
@@ -171,6 +256,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"(ref {r['stages']['cycles_reference_s']:.3f}s -> "
             f"fast {r['stages']['cycles_fast_s']:.3f}s)"
         )
+    matrix = results.get("parallel_matrix")
+    if matrix:
+        print(
+            f"# matrix ({matrix['cases']} cases): serial {matrix['serial_s']:.3f}s "
+            f"-> workers={matrix['workers']} {matrix['parallel_s']:.3f}s "
+            f"({matrix['speedup']:.2f}x, host has {matrix['host_cpus']} cpu(s))"
+        )
+        if matrix["host_cpus"] < 2:
+            print(
+                "# note: single-cpu host — parallel wall-clock measures "
+                "overhead, not speedup; rerun on a multi-core host"
+            )
     return 0
 
 

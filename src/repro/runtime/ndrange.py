@@ -10,6 +10,12 @@ through the SIMT interpreter, and (optionally) returns a
 subset of work-groups — used by the performance models, which extrapolate
 from homogeneous groups (set it only when the output buffers don't
 matter).
+
+``workers=N`` shards the launch over N worker processes (contiguous
+ranges of the canonical pick list, merged back in shard order); the
+result is bit-identical to serial execution for kernels whose
+work-groups are independent — the contract enforced by the
+differential suite (see :mod:`repro.parallel` and DESIGN.md §9).
 """
 
 from __future__ import annotations
@@ -22,6 +28,8 @@ import numpy as np
 from repro.ir.function import Function
 from repro.ir.types import AddressSpace, PointerType
 from repro.ir.values import Argument, LocalArray
+from repro.parallel.engine import resolve_workers
+from repro.parallel.sharding import select_groups
 from repro.runtime.buffers import Buffer, Memory
 from repro.runtime.builtins import WorkItemContext
 from repro.runtime.errors import RuntimeLaunchError
@@ -54,6 +62,8 @@ def launch(
     local_arg_sizes: Optional[Dict[str, int]] = None,
     collect_trace: bool = False,
     sample_groups: Optional[int] = None,
+    workers: Optional[int] = None,
+    _group_slice: Optional[Tuple[int, int]] = None,
 ) -> LaunchResult:
     """Execute ``kernel`` over the NDRange.
 
@@ -69,12 +79,24 @@ def launch(
     reported as ``LaunchResult.groups_executed`` and, when tracing, as
     ``KernelTrace.sampled_groups``.
 
+    ``workers`` (default: ``$REPRO_WORKERS``, then 1) shards the
+    executed groups over that many processes; results are bit-identical
+    to ``workers=1``.  Bad values raise :class:`RuntimeLaunchError`; an
+    unavailable pool silently falls back to serial execution.
+
+    ``_group_slice`` is the engine-internal half-open range of the pick
+    list a worker shard executes; user code never passes it.
+
     Local and private (``alloca``) arenas are allocated once and reused
     (re-zeroed) across work-groups — group semantics are identical to a
     fresh allocation per group, without the allocator churn.
     """
     if not kernel.is_kernel:
         raise RuntimeLaunchError(f"{kernel.name} is not a kernel")
+    try:
+        n_workers = resolve_workers(workers)
+    except ValueError as exc:
+        raise RuntimeLaunchError(str(exc)) from None
     gsize = _normalize(global_size)
     lsize = _normalize(local_size)
     if len(gsize) != len(lsize):
@@ -127,20 +149,30 @@ def launch(
     groups_per_dim = tuple(gsize[d] // lsize[d] for d in range(ndim))
     total_groups = int(np.prod(groups_per_dim))
 
-    # which groups to execute
-    if sample_groups is not None:
-        if sample_groups < 1:
+    # which groups to execute (one shared definition — worker shards
+    # recompute the identical pick list from the same inputs)
+    try:
+        picks = select_groups(total_groups, sample_groups)
+    except ValueError as exc:
+        raise RuntimeLaunchError(str(exc)) from None
+
+    if _group_slice is not None:
+        lo, hi = _group_slice
+        if not (0 <= lo < hi <= len(picks)):
             raise RuntimeLaunchError(
-                f"sample_groups must be >= 1, got {sample_groups}"
+                f"_group_slice {_group_slice} outside picks [0, {len(picks)})"
             )
-        if sample_groups < total_groups:
-            picks = np.unique(
-                np.linspace(0, total_groups - 1, sample_groups).round().astype(int)
-            )
-        else:
-            picks = np.arange(total_groups)
-    else:
-        picks = np.arange(total_groups)
+        picks = picks[lo:hi]
+    elif n_workers > 1 and len(picks) > 1:
+        from repro.parallel.engine import parallel_launch
+
+        result = parallel_launch(
+            kernel, gsize, lsize, args, memory, local_arg_sizes,
+            collect_trace, sample_groups, picks, total_groups, n_workers,
+        )
+        if result is not None:
+            return result
+        # pool unavailable or payload not shippable -> serial fallback
 
     # __local and private (alloca) arenas are owned by the launch and
     # reused (re-zeroed) across groups instead of alloc/free per group

@@ -1,0 +1,125 @@
+"""Differential suite: sharded launches must be bit-identical to serial.
+
+For every paper application, in both the original and the
+Grover-transformed variant, a launch sharded over 2..4 worker processes
+must reproduce the serial run exactly: the same ``KernelTrace`` event
+stream (spaces, buffer ids, offsets, lanes, phases, instruction ids),
+the same output buffer bytes, and the same ``CPUModel``/``GPUModel``
+cycle counts with memoization on and off.
+
+The kernel is compiled *once* per case and launched through both paths:
+transformed kernels draw fresh instruction ids at every compile, so
+event-stream identity is only defined per compiled kernel object.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.harness import compile_app, execute_app
+from repro.apps.registry import TABLE_ORDER, get_app
+from repro.parallel.diff import (
+    assert_cycles_equal,
+    assert_outputs_equal,
+    assert_traces_equal,
+)
+from repro.perf import devices
+from repro.perf.cpumodel import CPUModel
+from repro.perf.gpumodel import GPUModel
+
+WORKER_COUNTS = (2, 3, 4)
+
+CASES = [(app_id, variant) for app_id in TABLE_ORDER for variant in ("with", "without")]
+
+
+@pytest.mark.parametrize("app_id,variant", CASES, ids=[f"{a}-{v}" for a, v in CASES])
+def test_sharded_launch_bit_identical(app_id, variant):
+    app = get_app(app_id)
+    kernel, report = compile_app(app, variant)
+    serial = execute_app(
+        app, kernel, variant=variant, scale="test", collect_trace=True, report=report
+    )
+    assert serial.trace is not None
+
+    for workers in WORKER_COUNTS:
+        parallel = execute_app(
+            app, kernel, variant=variant, scale="test",
+            collect_trace=True, workers=workers, report=report,
+        )
+        ctx = f"{app_id}[{variant}] workers={workers}"
+        assert_traces_equal(serial.trace, parallel.trace, ctx)
+        assert_outputs_equal(serial.outputs, parallel.outputs, ctx)
+        for memoize in (False, True):
+            assert_cycles_equal(
+                CPUModel(devices.SNB, memoize=memoize).time_kernel(serial.trace),
+                CPUModel(devices.SNB, memoize=memoize).time_kernel(parallel.trace),
+                f"{ctx} CPU memoize={memoize}",
+            )
+            assert_cycles_equal(
+                GPUModel(devices.FERMI, memoize=memoize).time_kernel(serial.trace),
+                GPUModel(devices.FERMI, memoize=memoize).time_kernel(parallel.trace),
+                f"{ctx} GPU memoize={memoize}",
+            )
+
+
+@pytest.mark.parametrize("sample_groups", (1, 3, 7))
+def test_sharded_sampled_launch_bit_identical(sample_groups):
+    """Sampling composes with sharding: shards split the sampled picks."""
+    app = get_app("NVD-MT")
+    kernel, _ = compile_app(app, "with")
+    serial = execute_app(
+        app, kernel, scale="bench", collect_trace=True, sample_groups=sample_groups
+    )
+    for workers in WORKER_COUNTS:
+        parallel = execute_app(
+            app, kernel, scale="bench", collect_trace=True,
+            sample_groups=sample_groups, workers=workers,
+        )
+        ctx = f"sample_groups={sample_groups} workers={workers}"
+        assert_traces_equal(serial.trace, parallel.trace, ctx)
+        assert parallel.trace.sampled_groups == serial.trace.sampled_groups
+
+
+def test_workers_beyond_group_count_degrade_gracefully():
+    """More workers than groups: shards shrink, result stays identical."""
+    app = get_app("NVD-MT")
+    kernel, _ = compile_app(app, "with")
+    serial = execute_app(app, kernel, scale="test", collect_trace=True)
+    parallel = execute_app(
+        app, kernel, scale="test", collect_trace=True, workers=64
+    )
+    assert_traces_equal(serial.trace, parallel.trace, "workers=64")
+    assert_outputs_equal(serial.outputs, parallel.outputs, "workers=64")
+
+
+def test_parallel_launch_advances_buffer_ids_like_serial():
+    """After a launch, the parent Memory's id counter sits where a serial
+    launch would have left it — later launches on the same Memory then
+    allocate identical buffer ids in either mode."""
+    from repro.runtime import Memory
+
+    app = get_app("NVD-MT")
+    kernel, _ = compile_app(app, "with")
+    problem = app.make_problem("test")
+
+    def next_id_after(workers):
+        import numpy as np
+
+        from repro.runtime import launch
+
+        mem = Memory()
+        args = {}
+        for name, value in problem.inputs.items():
+            args[name] = (
+                mem.from_array(value, name) if isinstance(value, np.ndarray) else value
+            )
+        for name, expected in problem.expected.items():
+            if name not in args:
+                args[name] = mem.alloc(expected.nbytes, name)
+        launch(
+            kernel, problem.global_size, problem.local_size, args,
+            memory=mem, collect_trace=True, workers=workers,
+        )
+        return mem._next_id
+
+    assert next_id_after(1) == next_id_after(3)
