@@ -1,0 +1,21 @@
+/* The paper's Fig. 1(a) kernel: tiled matrix transpose staging through
+ * __local memory.  Used by the CI smoke job:
+ *
+ *   python -m repro.cli examples/transpose.cl --trace-out events.jsonl
+ *   python -m repro.cli passes --run examples/transpose.cl
+ */
+#define S 16
+
+__kernel void transpose(__global float* out, __global const float* in,
+                        int W, int H)
+{
+    __local float lm[S][S];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int wx = get_group_id(0);
+    int wy = get_group_id(1);
+    lm[ly][lx] = in[(wx*S + ly)*W + (wy*S + lx)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float val = lm[lx][ly];
+    out[get_global_id(1)*H + get_global_id(0)] = val;
+}

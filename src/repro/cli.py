@@ -14,6 +14,14 @@ Subcommands:
 * ``python -m repro.cli matrix [...]`` — the (app × device) experiment
   matrix (Table IV / Fig. 10 / extension-GPU scoring), optionally
   fanned out with ``--workers N`` (see :mod:`repro.parallel.matrix`).
+* ``python -m repro.cli passes [...]`` — list the registered IR passes
+  and pipelines, or run a pipeline over a source file and print
+  per-pass rewrite counts, instruction deltas and wall time
+  (see :mod:`repro.session.passes`).
+
+Every subcommand (and the default kernel command) accepts ``--config
+FILE`` (a JSON session config, see :mod:`repro.session.config`) and
+``--trace-out PATH`` (structured JSONL event stream).
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ import sys
 from pathlib import Path
 
 from repro.core import GroverError, GroverPass
-from repro.frontend import FrontendError, compile_kernel
+from repro.frontend import FrontendError
 from repro.ir.printer import print_function
 
 
@@ -56,7 +64,99 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the IR before the transformation",
     )
+    add_session_flags(p)
     return p
+
+
+def add_session_flags(p: argparse.ArgumentParser) -> None:
+    """The two session flags every subcommand shares."""
+    p.add_argument(
+        "--config",
+        default=None,
+        help="JSON session config file (see repro.session.config)",
+    )
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        help="write structured events as JSONL to this path",
+    )
+
+
+def passes_main(argv=None) -> int:
+    """``repro passes``: inspect the pass registry, or run a pipeline
+    over a source file and print per-pass statistics."""
+    from repro.session import session_from_flags
+    from repro.session.passes import PASS_REGISTRY, PIPELINES
+
+    p = argparse.ArgumentParser(
+        prog="repro passes",
+        description="List registered IR passes and pipelines, or run a "
+        "pipeline over an OpenCL C file and report per-pass rewrite "
+        "counts, instruction deltas and wall time.",
+    )
+    p.add_argument("--pipeline", default="default", choices=sorted(PIPELINES),
+                   help="pipeline to show or run (default: 'default')")
+    p.add_argument("--run", metavar="FILE", default=None,
+                   help="compile FILE unoptimised, then run the pipeline "
+                   "and print per-pass statistics")
+    p.add_argument("--kernel", default=None,
+                   help="with --run: kernel name (default: the only kernel)")
+    p.add_argument("-D", dest="defines", action="append", default=[],
+                   metavar="NAME=VALUE", help="preprocessor definition")
+    add_session_flags(p)
+    args = p.parse_args(argv)
+
+    from repro.reporting import ascii_table
+
+    if args.run is None:
+        rows = [
+            [name, "x" if name in PIPELINES[args.pipeline] else "",
+             PASS_REGISTRY[name].description]
+            for name in sorted(PASS_REGISTRY)
+        ]
+        print(ascii_table(
+            ["pass", f"in '{args.pipeline}'", "description"], rows,
+            title=f"registered passes (pipeline '{args.pipeline}': "
+            f"{' -> '.join(PIPELINES[args.pipeline])})",
+        ))
+        return 0
+
+    defines = {}
+    for d in args.defines:
+        name, _, value = d.partition("=")
+        defines[name] = value or "1"
+    source = Path(args.run).read_text()
+    with session_from_flags(args.config, args.trace_out) as session:
+        # lower to virgin IR (no pipeline yet) so the per-pass stats show
+        # what each pass actually does, not an idempotent re-run
+        from pycparser import CParser
+        from pycparser.c_parser import ParseError
+
+        from repro.frontend.lower import lower_translation_unit
+        from repro.frontend.preprocess import preprocess
+
+        try:
+            pre = preprocess(source, defines)
+            ast = CParser().parse(pre.text, filename=args.run)
+            module = lower_translation_unit(ast, pre.kernel_names, args.run)
+            kernel = module.kernel(args.kernel)
+        except (ParseError, FrontendError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        pm = session.pass_manager(pipeline=args.pipeline, verify_between=True)
+        with session.activate():
+            results = pm.run_function(kernel)
+    rows = [
+        [r.pass_name, r.rewrites, r.insts_before, r.insts_after,
+         f"{r.wall_s * 1e3:.3f}"]
+        for r in results
+    ]
+    print(ascii_table(
+        ["pass", "rewrites", "insts before", "insts after", "wall ms"], rows,
+        title=f"pipeline '{args.pipeline}' over {kernel.name} "
+        f"({args.run})",
+    ))
+    return 0
 
 
 def main(argv=None) -> int:
@@ -70,6 +170,8 @@ def main(argv=None) -> int:
         from repro.parallel.matrix import main as matrix_main
 
         return matrix_main(list(argv[1:]))
+    if argv and argv[0] == "passes":
+        return passes_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     source = Path(args.file).read_text()
     defines = {}
@@ -77,24 +179,32 @@ def main(argv=None) -> int:
         name, _, value = d.partition("=")
         defines[name] = value or "1"
 
-    try:
-        kernel = compile_kernel(source, args.kernel, defines=defines)
-    except FrontendError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+    from repro.session import session_from_flags
 
-    if args.before:
-        print("; ---- before Grover ----")
-        print(print_function(kernel))
-        print()
+    with session_from_flags(args.config, args.trace_out) as session:
+        try:
+            kernel = session.compile_kernel(source, args.kernel, defines=defines)
+        except FrontendError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
 
-    arrays = args.arrays.split(",") if args.arrays else None
-    pipeline = GroverPass(arrays=arrays, remove_barriers=not args.keep_barriers)
-    try:
-        report = pipeline.run(kernel)
-    except GroverError as exc:
-        print(f"grover: cannot disable local memory: {exc}", file=sys.stderr)
-        return 2
+        if args.before:
+            print("; ---- before Grover ----")
+            print(print_function(kernel))
+            print()
+
+        arrays = args.arrays.split(",") if args.arrays else None
+        pipeline = GroverPass(
+            arrays=arrays, remove_barriers=not args.keep_barriers
+        )
+        try:
+            with session.activate():
+                report = pipeline.run(kernel)
+        except GroverError as exc:
+            print(
+                f"grover: cannot disable local memory: {exc}", file=sys.stderr
+            )
+            return 2
 
     print(report)
     print()

@@ -166,8 +166,14 @@ class GroverPass:
 
     # -- main entry point ---------------------------------------------------------
     def run(self, kernel: Function) -> GroverReport:
+        import time
+
+        from repro.session import events
+
         if not kernel.is_kernel:
             raise GroverError(f"{kernel.name} is not a kernel")
+        t0 = time.perf_counter()
+        events.emit("grover_start", kernel=kernel.name)
         report = GroverReport(kernel.name)
         ctx = AffineContext(kernel)
 
@@ -175,6 +181,13 @@ class GroverPass:
         for rej in rejections:
             rec = CandidateRecord(rej.name, "rejected", rej.reason)
             report.records.append(rec)
+            events.emit(
+                "grover_candidate",
+                kernel=kernel.name,
+                name=rej.name,
+                status="rejected",
+                reason=rej.reason,
+            )
             if not self.allow_partial:
                 raise PatternMismatch(f"{rej.name}: {rej.reason}")
         if not candidates and not rejections:
@@ -189,10 +202,24 @@ class GroverPass:
             except (PatternError, SolveError, RewriteError) as exc:
                 rec = CandidateRecord(cand.name, "rejected", str(exc))
                 report.records.append(rec)
+                events.emit(
+                    "grover_candidate",
+                    kernel=kernel.name,
+                    name=cand.name,
+                    status="rejected",
+                    reason=str(exc),
+                )
                 if not self.allow_partial:
                     raise NotReversible(f"{cand.name}: {exc}") from exc
                 continue
             report.records.append(rec)
+            events.emit(
+                "grover_candidate",
+                kernel=kernel.name,
+                name=cand.name,
+                status="transformed",
+                reason="",
+            )
             if isinstance(cand.array, LocalArray):
                 removed_arrays.append(cand.array)
 
@@ -206,6 +233,13 @@ class GroverPass:
 
             vendor_optimize(kernel)
         verify_function(kernel)
+        events.emit(
+            "grover_end",
+            kernel=kernel.name,
+            transformed=len(report.transformed),
+            rejected=len(report.rejected),
+            wall_ms=(time.perf_counter() - t0) * 1e3,
+        )
         return report
 
     def _reverse_candidate(
@@ -246,9 +280,13 @@ def disable_local_memory(
     kernel_name: Optional[str] = None,
     **kwargs,
 ) -> GroverReport:
-    """Convenience wrapper: run :class:`GroverPass` on a kernel in place."""
-    if isinstance(kernel_or_module, Module):
-        kernel = kernel_or_module.kernel(kernel_name)
-    else:
-        kernel = kernel_or_module
-    return GroverPass(**kwargs).run(kernel)
+    """Convenience wrapper: run :class:`GroverPass` on a kernel in place.
+
+    Thin shim over :meth:`repro.session.Session.disable_local_memory`
+    (the current session supplies configuration and the event bus).
+    """
+    from repro.session import current_session
+
+    return current_session().disable_local_memory(
+        kernel_or_module, kernel_name, **kwargs
+    )

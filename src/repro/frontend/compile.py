@@ -1,37 +1,45 @@
 """Top-level frontend driver: OpenCL C source -> IR module / kernel.
 
-Compilation results are memoized in a small LRU cache keyed on
-``(source, defines, module_name, optimize)``: benchmarks and
-experiments re-compile the same handful of kernels hundreds of times,
-and re-parsing dominates their setup cost.  Because downstream passes
-(notably :class:`repro.core.GroverPass`) mutate IR in place, every
-cache hit hands out a ``deepcopy`` of the cached module — callers own
-their module, exactly as if it had been compiled fresh.
+These are thin shims over the session layer: the actual compile
+pipeline — preprocess, parse, lower, the default pass pipeline, the
+vendor-optimise stage, verification — lives in
+:meth:`repro.session.Session.compile_source`, which also owns the LRU
+compile cache (keyed on ``(source, defines, module_name, optimize)``)
+and emits ``compile_start`` / ``compile_cache_hit`` /
+``compile_cache_miss`` / ``compile_end`` events.
+
+Because downstream passes (notably :class:`repro.core.GroverPass`)
+mutate IR in place, every cache hit hands out a ``deepcopy`` of the
+cached module — callers own their module, exactly as if it had been
+compiled fresh.
 """
 
 from __future__ import annotations
 
-import copy
-from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
-from pycparser import CParser
-from pycparser.c_parser import ParseError
-
-from repro.frontend.errors import FrontendError
-from repro.frontend.lower import lower_translation_unit
-from repro.frontend.preprocess import preprocess
 from repro.ir.function import Function, Module
-from repro.ir.passes import run_default_passes
-from repro.ir.verifier import verify_module
 
+#: default size of a session's LRU compile cache (see the
+#: ``compile_cache_size`` / ``REPRO_COMPILE_CACHE_SIZE`` config variable)
 _COMPILE_CACHE_SIZE = 32
-_compile_cache: "OrderedDict[Tuple, Module]" = OrderedDict()
+
+
+def __getattr__(name: str):
+    # legacy introspection point: the module-level ``_compile_cache``
+    # now lives on the current session
+    if name == "_compile_cache":
+        from repro.session import current_session
+
+        return current_session()._compile_cache
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def clear_compile_cache() -> None:
     """Drop all memoized modules (mainly for tests and memory pressure)."""
-    _compile_cache.clear()
+    from repro.session import current_session
+
+    current_session().clear_compile_cache()
 
 
 def compile_source(
@@ -46,37 +54,11 @@ def compile_source(
     ``cache=False`` bypasses the compile cache (used by benchmarks to
     measure cold compiles).
     """
-    key = (
-        source,
-        tuple(sorted((str(k), str(v)) for k, v in (defines or {}).items())),
-        module_name,
-        optimize,
-    )
-    if cache:
-        hit = _compile_cache.get(key)
-        if hit is not None:
-            _compile_cache.move_to_end(key)
-            return copy.deepcopy(hit)
-    pre = preprocess(source, defines)
-    parser = CParser()
-    try:
-        ast = parser.parse(pre.text, filename=module_name)
-    except ParseError as exc:
-        raise FrontendError(f"parse error: {exc}") from exc
-    module = lower_translation_unit(ast, pre.kernel_names, module_name)
-    run_default_passes(module)
-    if optimize:
-        # the vendor-compiler stage of the paper's Fig. 9 pipeline
-        from repro.core.optimize import vendor_optimize
+    from repro.session import current_session
 
-        for fn in module:
-            vendor_optimize(fn)
-    verify_module(module)
-    if cache:
-        _compile_cache[key] = copy.deepcopy(module)
-        while len(_compile_cache) > _COMPILE_CACHE_SIZE:
-            _compile_cache.popitem(last=False)
-    return module
+    return current_session().compile_source(
+        source, defines, module_name=module_name, optimize=optimize, cache=cache
+    )
 
 
 def compile_kernel(

@@ -103,7 +103,10 @@ def loop_invariant_code_motion(fn: Function) -> int:
             pre = loop.preheader
             if pre is None or pre.terminator is None:
                 continue
-            body_blocks = loop.body
+            # iterate in function block order, not set order: hoisting is
+            # order-sensitive in the preheader, and set iteration depends
+            # on identity hashes (nondeterministic across heap layouts)
+            body_blocks = [bb for bb in fn.blocks if bb in loop.body]
             stored_slots = {
                 inst.ptr
                 for bb in body_blocks
@@ -286,9 +289,14 @@ def common_subexpression_elimination(fn: Function) -> int:
 
 
 def run_default_passes(mod: Module) -> None:
-    for fn in mod:
-        promote_single_store_slots(fn)
-        fold_constants(fn)
-        common_subexpression_elimination(fn)
-        loop_invariant_code_motion(fn)
-        common_subexpression_elimination(fn)
+    """Run the default post-lowering pipeline (promote, fold, CSE, LICM,
+    CSE) over every function.
+
+    Shim over the instrumented pass manager: the pipeline definition
+    lives in :data:`repro.session.passes.DEFAULT_PIPELINE` and is
+    ordering-identical to the historical inline loop (asserted
+    bit-for-bit by ``tests/test_pass_manager.py``).
+    """
+    from repro.session.passes import PassManager
+
+    PassManager().run(mod)

@@ -20,7 +20,10 @@ private (``alloca``) accesses are never traced, so their ids cannot
 leak into results.
 
 Failure contract: problems *setting up* the pool (or unpicklable
-payloads) fall back to serial execution silently; a worker failing
+payloads) fall back to serial execution — observably: a ``pool_fallback``
+event naming the underlying exception is emitted on the session bus,
+and when no sink is attached a :class:`PoolFallbackWarning` is issued
+instead, so the degradation is never silent.  A worker failing
 *mid-shard* raises :class:`RuntimeLaunchError` naming the flat group
 range that failed — never a raw ``multiprocessing`` traceback.
 """
@@ -28,9 +31,9 @@ range that failed — never a raw ``multiprocessing`` traceback.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import pickle
 import traceback
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -38,36 +41,47 @@ import numpy as np
 
 from repro.parallel.sharding import merge_group_traces, shard_ranges
 from repro.runtime.errors import RuntimeLaunchError
+from repro.session import events
 
 #: environment default for every ``workers=None`` entry point; setting
 #: ``REPRO_WORKERS=1`` is the global escape hatch that forces serial
-#: execution everywhere without touching call sites
+#: execution everywhere without touching call sites (registered in
+#: :mod:`repro.session.config` as the ``workers`` variable)
 WORKERS_ENV = "REPRO_WORKERS"
+
+
+class PoolFallbackWarning(RuntimeWarning):
+    """A parallel launch silently degraded to serial execution."""
+
+
+def _observe_fallback(where: str, reason: str, error: str = "") -> None:
+    """Make a serial fallback observable: event if a sink listens,
+    ``warnings.warn`` otherwise (never both, never neither)."""
+    if events.bus_active():
+        events.emit("pool_fallback", where=where, reason=reason, error=error)
+    else:
+        detail = f" ({error})" if error else ""
+        warnings.warn(
+            f"parallel execution fell back to serial in {where}: "
+            f"{reason}{detail}",
+            PoolFallbackWarning,
+            stacklevel=3,
+        )
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
     """Normalise a ``workers`` argument to an ``int >= 1``.
 
-    ``None`` falls back to ``$REPRO_WORKERS``, then to 1 (serial).
+    ``None`` falls back to the session's ``workers`` setting
+    (``$REPRO_WORKERS``, a ``--config`` file, ...), then to 1 (serial).
     Anything that is not a positive integer — including bools and
     numeric strings passed programmatically — raises ``ValueError``;
     callers in the runtime wrap that into ``RuntimeLaunchError``.
     """
     if workers is None:
-        env = os.environ.get(WORKERS_ENV)
-        if env is None:
-            return 1
-        try:
-            workers = int(env)
-        except ValueError:
-            raise ValueError(
-                f"${WORKERS_ENV} must be a positive integer, got {env!r}"
-            ) from None
-        if workers < 1:
-            raise ValueError(
-                f"${WORKERS_ENV} must be a positive integer, got {env!r}"
-            )
-        return workers
+        from repro.session import current_session
+
+        return current_session().get("workers")
     if isinstance(workers, bool) or not isinstance(workers, int):
         raise ValueError(
             f"workers must be a positive integer or None, got {workers!r}"
@@ -83,13 +97,19 @@ def make_pool(n_workers: int) -> Optional[ProcessPoolExecutor]:
     Prefers the cheap ``fork`` start method where the platform offers
     it.  Pool-creation failures (restricted sandboxes, missing
     semaphores) are a *fallback* condition, not an error — callers run
-    serially instead.
+    serially instead; the failure is reported as a ``pool_fallback``
+    event (or a :class:`PoolFallbackWarning` when nobody listens).
     """
     try:
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
         return ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx)
-    except Exception:
+    except Exception as exc:
+        _observe_fallback(
+            "make_pool",
+            "process pool unavailable",
+            f"{type(exc).__name__}: {exc}",
+        )
         return None
 
 
@@ -228,11 +248,25 @@ def parallel_launch(
             kernel, global_size, local_size, args, memory,
             local_arg_sizes, collect_trace, sample_groups,
         )
-    except Exception:
-        return None  # unpicklable payload -> serial fallback
+    except Exception as exc:  # unpicklable payload -> serial fallback
+        _observe_fallback(
+            "serialize_launch",
+            "launch payload not picklable",
+            f"{type(exc).__name__}: {exc}",
+        )
+        return None
 
     ranges = shard_ranges(len(picks), workers)
     if len(ranges) < 2:
+        # structural, not a failure: too few groups to shard — still
+        # emit the event (no warning) so traces explain the serial run
+        if events.bus_active():
+            events.emit(
+                "pool_fallback",
+                where="shard_ranges",
+                reason=f"only {len(picks)} group pick(s); nothing to shard",
+                error="",
+            )
         return None
 
     pool = make_pool(len(ranges))
@@ -242,6 +276,12 @@ def parallel_launch(
     def group_span(lo: int, hi: int) -> str:
         return f"flat groups {int(picks[lo])}..{int(picks[hi - 1])} (picks {lo}:{hi})"
 
+    events.emit(
+        "launch_sharded",
+        kernel=kernel.name,
+        shards=len(ranges),
+        workers=workers,
+    )
     results = []
     with pool:
         futures = [

@@ -22,10 +22,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.parallel.engine import make_pool, resolve_workers
+from repro.session import events
 
 #: classification threshold of the paper's Table IV (±5 %)
 DEFAULT_THRESHOLD = 0.05
@@ -110,6 +112,13 @@ def run_matrix(
     result = MatrixResult(
         scale=scale, workers=n_workers, apps=app_ids, devices=list(dev_names)
     )
+    t0 = time.perf_counter()
+    events.emit(
+        "matrix_start",
+        apps=list(app_ids),
+        devices=list(dev_names),
+        workers=n_workers,
+    )
 
     per_app: Dict[str, Dict[str, float]] = {}
     pool = make_pool(min(n_workers, len(app_ids))) if (
@@ -128,12 +137,23 @@ def run_matrix(
                     if retries <= 0:
                         raise
                     result.retried[app_id] = f"{type(exc).__name__}: {exc}"
+                    events.emit(
+                        "matrix_case_retried",
+                        app=app_id,
+                        reason=result.retried[app_id],
+                    )
                     _, vals = _matrix_case(app_id, dev_names, scale)
                 per_app[app_id] = vals
     else:
         for app_id in app_ids:
             _, vals = _matrix_case(app_id, dev_names, scale)
             per_app[app_id] = vals
+
+    events.emit(
+        "matrix_end",
+        cases=result.cases,
+        wall_ms=(time.perf_counter() - t0) * 1e3,
+    )
 
     result.values = {
         dev: {app_id: per_app[app_id][dev] for app_id in app_ids}
@@ -179,20 +199,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="gain/loss threshold (paper: 0.05)")
     p.add_argument("--json", dest="json_path", default=None,
                    help="also write the grid to this JSON file")
+    p.add_argument("--config", default=None,
+                   help="JSON session config file (see repro.session.config)")
+    p.add_argument("--trace-out", default=None,
+                   help="write structured events as JSONL to this path")
     args = p.parse_args(argv)
 
     from repro.reporting import ascii_table, normalized_perf_table
+    from repro.session import session_from_flags
 
     apps = (
         [a.strip() for a in args.apps.split(",") if a.strip()]
         if args.apps else None
     )
-    result = run_matrix(
-        apps=apps,
-        devices=_parse_devices(args.devices),
-        workers=args.workers,
-        scale=args.scale,
-    )
+    with session_from_flags(args.config, args.trace_out):
+        result = run_matrix(
+            apps=apps,
+            devices=_parse_devices(args.devices),
+            workers=args.workers,
+            scale=args.scale,
+        )
 
     print(normalized_perf_table(result.values, result.apps))
     print()

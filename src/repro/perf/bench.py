@@ -235,16 +235,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                    "(default: $REPRO_WORKERS, then 1 = serial only)")
     p.add_argument("--json", dest="json_path", default="BENCH_pipeline.json",
                    help="output file ('-' for stdout only)")
+    p.add_argument("--config", default=None,
+                   help="JSON session config file (see repro.session.config)")
+    p.add_argument("--trace-out", default=None,
+                   help="write structured events as JSONL to this path")
     args = p.parse_args(argv)
 
     from repro.parallel.engine import resolve_workers
+    from repro.session import session_from_flags
 
-    results = run_bench(
-        [a.strip() for a in args.apps.split(",") if a.strip()],
-        args.scale,
-        args.sample_groups,
-        workers=resolve_workers(args.workers),
-    )
+    with session_from_flags(args.config, args.trace_out):
+        results = run_bench(
+            [a.strip() for a in args.apps.split(",") if a.strip()],
+            args.scale,
+            args.sample_groups,
+            workers=resolve_workers(args.workers),
+        )
     text = json.dumps(results, indent=2, sort_keys=True)
     if args.json_path != "-":
         with open(args.json_path, "w") as f:

@@ -26,12 +26,14 @@ per-thread slice of ``l3_size / cores``.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.ir.types import AddressSpace
+from repro.session import events
 from repro.perf.cache import collapse_consecutive
 from repro.perf.devices import CPUSpec
 from repro.perf.fastcache import make_hierarchy, memo_enabled
@@ -91,6 +93,12 @@ class CPUModel:
             key = gt.fingerprint()
             cached = self._group_costs.get(key)
             if cached is not None:
+                if events.bus_active():
+                    events.emit(
+                        "model_memo_hit",
+                        device=self.spec.name,
+                        fingerprint_sha1=hashlib.sha1(key).hexdigest()[:12],
+                    )
                 return cached
         s = self.spec
         stream = gt.serialized(_CACHED_SPACES)
@@ -131,4 +139,11 @@ class CPUModel:
         """Total cycle estimate for the launch (single-thread-equivalent;
         the core count cancels in normalised comparisons)."""
         total = sum(self.time_group(g).cycles for g in trace.groups)
-        return trace.scale * total
+        cycles = trace.scale * total
+        events.emit(
+            "model_kernel_timed",
+            device=self.spec.name,
+            cycles=float(cycles),
+            groups=len(trace.groups),
+        )
+        return cycles

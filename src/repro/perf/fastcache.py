@@ -27,15 +27,17 @@ Two observations turn the per-access LRU walk into batch array work:
    are simulated one after another on filtered arrays.
 
 Backend selection: the models default to this fast path; set the
-environment variable ``REPRO_CACHE_BACKEND=reference`` (or call
-:func:`set_cache_backend`) to force the reference oracle, e.g. when
-debugging a suspected simulator issue.  ``REPRO_PERF_MEMO=0`` disables
-group-trace memoization in the models the same way.
+``cache_backend`` session variable (``REPRO_CACHE_BACKEND=reference``,
+a ``--config`` entry, or :func:`set_cache_backend`) to force the
+reference oracle, e.g. when debugging a suspected simulator issue.  The
+``perf_memo`` variable (``REPRO_PERF_MEMO=0``) disables group-trace
+memoization in the models the same way.  Both knobs live in the
+session config registry (:mod:`repro.session.config`); this module
+performs config *lookups*, never raw environment reads.
 """
 
 from __future__ import annotations
 
-import os
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -47,38 +49,37 @@ from repro.perf.cache import CacheHierarchy, CacheStats, HierarchyCounts, SetAss
 LevelSpec = Tuple[float, int, int, str]
 
 _VALID_BACKENDS = ("fast", "reference")
-_default_backend = "fast"
 
 
 def cache_backend() -> str:
     """The active simulation backend: ``'fast'`` or ``'reference'``.
 
-    ``REPRO_CACHE_BACKEND`` overrides the process-wide default set with
-    :func:`set_cache_backend`.
+    Resolved through the current session — defaults < config file/dict
+    (where :func:`set_cache_backend` writes) < ``$REPRO_CACHE_BACKEND``.
     """
-    env = os.environ.get("REPRO_CACHE_BACKEND")
-    if env:
-        if env not in _VALID_BACKENDS:
-            raise ValueError(
-                f"REPRO_CACHE_BACKEND={env!r}; must be one of {_VALID_BACKENDS}"
-            )
-        return env
-    return _default_backend
+    from repro.session import current_session
+
+    return current_session().get("cache_backend")
 
 
 def set_cache_backend(name: str) -> str:
-    """Set the process-wide default backend; returns the previous one."""
-    global _default_backend
+    """Set the session-default backend; returns the previous one.
+
+    Writes the current session's config layer, so an explicit
+    ``$REPRO_CACHE_BACKEND`` still overrides it (historical semantics).
+    """
+    from repro.session import current_session
+
     if name not in _VALID_BACKENDS:
         raise ValueError(f"backend must be one of {_VALID_BACKENDS}, got {name!r}")
-    prev = _default_backend
-    _default_backend = name
-    return prev
+    return current_session().set_config("cache_backend", name)
 
 
 def memo_enabled() -> bool:
     """Group-trace memoization default (``REPRO_PERF_MEMO=0`` disables)."""
-    return os.environ.get("REPRO_PERF_MEMO", "1") != "0"
+    from repro.session import current_session
+
+    return current_session().get("perf_memo")
 
 
 def lru_hits(lines: np.ndarray, n_sets: int, assoc: int) -> np.ndarray:

@@ -19,12 +19,14 @@ most memory time with compute.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.ir.types import AddressSpace
+from repro.session import events
 from repro.perf.devices import GPUSpec
 from repro.perf.fastcache import make_hierarchy, memo_enabled
 from repro.runtime.trace import GroupTrace, KernelTrace, MemEvent
@@ -100,6 +102,12 @@ class GPUModel:
             key = gt.fingerprint()
             cached = self._group_costs.get(key)
             if cached is not None:
+                if events.bus_active():
+                    events.emit(
+                        "model_memo_hit",
+                        device=self.spec.name,
+                        fingerprint_sha1=hashlib.sha1(key).hexdigest()[:12],
+                    )
                 return cached
         s = self.spec
         spm_cycles = 0.0
@@ -138,4 +146,11 @@ class GPUModel:
 
     def time_kernel(self, trace: KernelTrace) -> float:
         total = sum(self.time_group(g).cycles for g in trace.groups)
-        return trace.scale * total
+        cycles = trace.scale * total
+        events.emit(
+            "model_kernel_timed",
+            device=self.spec.name,
+            cycles=float(cycles),
+            groups=len(trace.groups),
+        )
+        return cycles

@@ -151,6 +151,8 @@ class GroupExecutor:
 
     # -- main loop ---------------------------------------------------------------
     def run(self) -> None:
+        from repro.session import events
+
         pending: Dict[BasicBlock, np.ndarray] = {self.fn.entry: self.alive.copy()}
         rpo = self.rpo
         while pending:
@@ -164,6 +166,11 @@ class GroupExecutor:
                     pending[succ] = pending[succ] | m
                 elif m.any():
                     pending[succ] = m
+        events.emit(
+            "group_executed",
+            group_id=list(self.ctx.group_id),
+            work_items=self.n,
+        )
 
     def exec_block(self, bb: BasicBlock, mask: np.ndarray):
         if self.trace is not None:

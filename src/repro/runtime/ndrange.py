@@ -20,12 +20,14 @@ differential suite (see :mod:`repro.parallel` and DESIGN.md §9).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.ir.function import Function
+from repro.session import events
 from repro.ir.types import AddressSpace, PointerType
 from repro.ir.values import Argument, LocalArray
 from repro.parallel.engine import resolve_workers
@@ -156,6 +158,17 @@ def launch(
     except ValueError as exc:
         raise RuntimeLaunchError(str(exc)) from None
 
+    t_start = time.perf_counter()
+    if _group_slice is None:
+        events.emit(
+            "launch_start",
+            kernel=kernel.name,
+            global_size=list(gsize),
+            local_size=list(lsize),
+            total_groups=total_groups,
+            workers=n_workers,
+        )
+
     if _group_slice is not None:
         lo, hi = _group_slice
         if not (0 <= lo < hi <= len(picks)):
@@ -163,7 +176,7 @@ def launch(
                 f"_group_slice {_group_slice} outside picks [0, {len(picks)})"
             )
         picks = picks[lo:hi]
-    elif n_workers > 1 and len(picks) > 1:
+    elif n_workers > 1:
         from repro.parallel.engine import parallel_launch
 
         result = parallel_launch(
@@ -171,6 +184,13 @@ def launch(
             collect_trace, sample_groups, picks, total_groups, n_workers,
         )
         if result is not None:
+            events.emit(
+                "launch_end",
+                kernel=kernel.name,
+                groups_executed=result.groups_executed,
+                work_items=result.work_items,
+                wall_ms=(time.perf_counter() - t_start) * 1e3,
+            )
             return result
         # pool unavailable or payload not shippable -> serial fallback
 
@@ -223,4 +243,12 @@ def launch(
     trace = (
         KernelTrace(group_traces, total_groups, lsize, gsize) if collect_trace else None
     )
+    if _group_slice is None:
+        events.emit(
+            "launch_end",
+            kernel=kernel.name,
+            groups_executed=len(picks),
+            work_items=work_items,
+            wall_ms=(time.perf_counter() - t_start) * 1e3,
+        )
     return LaunchResult(trace=trace, groups_executed=len(picks), work_items=work_items)

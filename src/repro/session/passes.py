@@ -1,0 +1,260 @@
+"""Uniform named passes and the instrumented PassManager.
+
+Every IR transformation the pipeline runs — the post-lowering clean-ups,
+the "vendor compiler" pipeline of paper Fig. 9, the Grover pass itself —
+is registered here under a stable name with a one-line description.  A
+:class:`PassManager` runs a named sequence over a function or module and
+records, per pass: rewrite count, before/after IR size, and wall time —
+emitting a ``pass_applied`` event for each application and (optionally)
+running the verifier as a checkpoint between stages.
+
+The default pipeline is ordering-identical to the historical
+``repro.ir.passes.run_default_passes`` (asserted bit-for-bit by
+``tests/test_pass_manager.py``), and ``run_default_passes`` itself is now
+a shim over ``PassManager().run(module)``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.function import Function, Module
+from repro.ir.verifier import verify_function
+
+__all__ = [
+    "PassInfo",
+    "PassResult",
+    "PassManager",
+    "PASS_REGISTRY",
+    "DEFAULT_PIPELINE",
+    "VENDOR_PIPELINE",
+    "PIPELINES",
+    "register_pass",
+    "get_pass",
+]
+
+
+@dataclass(frozen=True)
+class PassInfo:
+    """One registered pass: a name, a per-function body, a description.
+
+    The body takes a :class:`Function` and returns its rewrite count
+    (instructions promoted / folded / eliminated / hoisted / local loads
+    rewritten — whatever "applications" means for that pass).
+    """
+
+    name: str
+    run: Callable[[Function], int]
+    description: str
+
+
+@dataclass(frozen=True)
+class PassResult:
+    """Instrumentation record for one pass applied to one function."""
+
+    pass_name: str
+    function: str
+    rewrites: int
+    insts_before: int
+    insts_after: int
+    blocks_before: int
+    blocks_after: int
+    wall_s: float
+
+
+PASS_REGISTRY: Dict[str, PassInfo] = {}
+
+
+def register_pass(
+    name: str, description: str
+) -> Callable[[Callable[[Function], int]], Callable[[Function], int]]:
+    """Register ``fn`` as the named pass (decorator form)."""
+
+    def deco(fn: Callable[[Function], int]) -> Callable[[Function], int]:
+        if name in PASS_REGISTRY:
+            raise ValueError(f"pass {name!r} already registered")
+        PASS_REGISTRY[name] = PassInfo(name, fn, description)
+        return fn
+
+    return deco
+
+
+def get_pass(name: str) -> PassInfo:
+    info = PASS_REGISTRY.get(name)
+    if info is None:
+        raise KeyError(f"unknown pass {name!r}; known: {sorted(PASS_REGISTRY)}")
+    return info
+
+
+def _register_builtin_passes() -> None:
+    from repro.core.dce import eliminate_dead_code
+    from repro.core.normalize import normalize_gep_indices
+    from repro.ir.passes import (
+        common_subexpression_elimination,
+        fold_constants,
+        loop_invariant_code_motion,
+        promote_single_store_slots,
+    )
+
+    register_pass(
+        "promote-single-store-slots",
+        "mem2reg-lite: forward loads of single-store entry-block stack slots",
+    )(promote_single_store_slots)
+    register_pass(
+        "fold-constants",
+        "fold binops/casts whose operands are all constants",
+    )(fold_constants)
+    register_pass(
+        "cse",
+        "dominator-scoped common-subexpression elimination over pure instructions",
+    )(common_subexpression_elimination)
+    register_pass(
+        "licm",
+        "hoist loop-invariant pure computation into loop preheaders",
+    )(loop_invariant_code_motion)
+    register_pass(
+        "normalize-gep",
+        "canonicalise GEP index arithmetic before DCE/CSE",
+    )(normalize_gep_indices)
+    register_pass(
+        "dce",
+        "eliminate instructions whose results are never used",
+    )(eliminate_dead_code)
+
+    def _verify_checkpoint(fn: Function) -> int:
+        verify_function(fn)
+        return 0
+
+    register_pass(
+        "verify",
+        "verifier checkpoint: structural well-formedness, no rewrites",
+    )(_verify_checkpoint)
+
+    def _grover(fn: Function) -> int:
+        from repro.core.grover import GroverPass
+        from repro.ir.types import AddressSpace, PointerType
+
+        if not fn.is_kernel:
+            return 0
+        uses_local = bool(fn.local_arrays) or any(
+            isinstance(a.type, PointerType)
+            and a.type.addrspace == AddressSpace.LOCAL
+            for a in fn.args
+        )
+        if not uses_local:
+            return 0  # nothing to disable — makes the pass idempotent
+        report = GroverPass(allow_partial=True).run(fn)
+        return sum(len(r.lls) for r in report.transformed)
+
+    register_pass(
+        "grover",
+        "the paper's pass: reverse the software-cache pattern and disable "
+        "local memory (rewrites = local loads redirected to global)",
+    )(_grover)
+
+
+_register_builtin_passes()
+
+#: ordering-identical to the historical ``run_default_passes``
+DEFAULT_PIPELINE: Tuple[str, ...] = (
+    "promote-single-store-slots",
+    "fold-constants",
+    "cse",
+    "licm",
+    "cse",
+)
+
+#: ordering-identical to ``repro.core.optimize.vendor_optimize``
+VENDOR_PIPELINE: Tuple[str, ...] = (
+    "fold-constants",
+    "normalize-gep",
+    "dce",
+    "cse",
+    "licm",
+    "cse",
+    "dce",
+)
+
+PIPELINES: Dict[str, Tuple[str, ...]] = {
+    "default": DEFAULT_PIPELINE,
+    "vendor": VENDOR_PIPELINE,
+}
+
+
+def _fn_stats(fn: Function) -> Tuple[int, int]:
+    return sum(len(bb.instructions) for bb in fn.blocks), len(fn.blocks)
+
+
+class PassManager:
+    """Run a named pass sequence with per-pass instrumentation.
+
+    ``verify_between=True`` runs the IR verifier after every pass and
+    emits a ``verify_ok`` checkpoint event — the pipeline-invariant mode
+    the test suite uses; production compiles keep it off and verify once
+    at the end (exactly the historical behaviour).
+    """
+
+    def __init__(
+        self,
+        names: Optional[Sequence[str]] = None,
+        verify_between: bool = False,
+        pipeline: str = "default",
+    ) -> None:
+        if names is None:
+            names = PIPELINES.get(pipeline)
+            if names is None:
+                raise KeyError(
+                    f"unknown pipeline {pipeline!r}; known: {sorted(PIPELINES)}"
+                )
+        self.pipeline = pipeline
+        self.passes: List[PassInfo] = [get_pass(n) for n in names]
+        self.verify_between = verify_between
+
+    @property
+    def names(self) -> List[str]:
+        return [p.name for p in self.passes]
+
+    def run_function(self, fn: Function) -> List[PassResult]:
+        from repro.session import events
+
+        results: List[PassResult] = []
+        for info in self.passes:
+            insts_before, blocks_before = _fn_stats(fn)
+            t0 = time.perf_counter()
+            rewrites = int(info.run(fn))
+            wall = time.perf_counter() - t0
+            insts_after, blocks_after = _fn_stats(fn)
+            results.append(
+                PassResult(
+                    pass_name=info.name,
+                    function=fn.name,
+                    rewrites=rewrites,
+                    insts_before=insts_before,
+                    insts_after=insts_after,
+                    blocks_before=blocks_before,
+                    blocks_after=blocks_after,
+                    wall_s=wall,
+                )
+            )
+            events.emit(
+                "pass_applied",
+                function=fn.name,
+                **{"pass": info.name},
+                pipeline=self.pipeline,
+                rewrites=rewrites,
+                insts_before=insts_before,
+                insts_after=insts_after,
+                wall_ms=wall * 1e3,
+            )
+            if self.verify_between:
+                verify_function(fn)
+                events.emit("verify_ok", function=fn.name, stage=f"after:{info.name}")
+        return results
+
+    def run(self, module: Module) -> List[PassResult]:
+        results: List[PassResult] = []
+        for fn in module:
+            results.extend(self.run_function(fn))
+        return results

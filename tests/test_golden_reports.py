@@ -60,6 +60,19 @@ def test_report_matches_golden(app_id):
         )
 
 
+@pytest.mark.parametrize("app_id", TABLE_ORDER)
+def test_session_path_matches_golden_byte_for_byte(app_id):
+    """An explicit Session reproduces the pinned report exactly — the
+    refactor's guarantee that the Session path is the legacy path."""
+    from repro.session import Session
+
+    path = GOLDEN_DIR / f"{app_id}.txt"
+    if UPDATE or not path.exists():
+        pytest.skip("golden files not pinned in this run")
+    _, report = Session(env={}).compile_app(get_app(app_id), "without")
+    assert str(report).rstrip("\n") + "\n" == path.read_text()
+
+
 def test_golden_dir_has_no_strays():
     """Every golden file corresponds to a known application."""
     if not GOLDEN_DIR.exists():

@@ -1,0 +1,258 @@
+"""PassManager contracts: registry, idempotency, verification, bit-identity.
+
+The ISSUE-3 invariants:
+
+* every registered rewrite pass is idempotent — a second consecutive
+  run reports 0 rewrites;
+* the IR verifier holds between every stage of both pipelines for all
+  11 Table III applications;
+* ``PassManager().run(module)`` produces bit-for-bit the IR the
+  historical ``run_default_passes`` sequence produced (and the vendor
+  pipeline matches ``vendor_optimize``'s sequence).
+"""
+
+from __future__ import annotations
+
+import pytest
+from pycparser import CParser
+
+from repro.apps.registry import TABLE_ORDER, get_app
+from repro.frontend.lower import lower_translation_unit
+from repro.frontend.preprocess import preprocess
+from repro.ir.printer import print_function
+from repro.session import DEFAULT_PIPELINE, PassManager, VENDOR_PIPELINE, collect
+from repro.session.passes import PASS_REGISTRY, PIPELINES, get_pass, register_pass
+from tests.conftest import MM_SOURCE, MT_SOURCE, REDUCTION_SOURCE
+
+
+def lower(source, defines=None, name="t"):
+    """Virgin IR: lowered, no pipeline applied yet."""
+    pre = preprocess(source, defines)
+    ast = CParser().parse(pre.text, filename=name)
+    return lower_translation_unit(ast, pre.kernel_names, name)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+def test_registry_and_pipelines():
+    assert set(PIPELINES) == {"default", "vendor"}
+    assert DEFAULT_PIPELINE == (
+        "promote-single-store-slots", "fold-constants", "cse", "licm", "cse",
+    )
+    assert VENDOR_PIPELINE == (
+        "fold-constants", "normalize-gep", "dce", "cse", "licm", "cse", "dce",
+    )
+    for name in DEFAULT_PIPELINE + VENDOR_PIPELINE:
+        assert name in PASS_REGISTRY
+    for info in PASS_REGISTRY.values():
+        assert info.description
+
+
+def test_unknown_names_raise():
+    with pytest.raises(KeyError, match="unknown pipeline"):
+        PassManager(pipeline="nope")
+    with pytest.raises(KeyError, match="unknown pass"):
+        PassManager(names=["does-not-exist"])
+    with pytest.raises(KeyError, match="unknown pass"):
+        get_pass("does-not-exist")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_pass("cse", "again")(lambda fn: 0)
+
+
+def test_names_property():
+    assert PassManager().names == list(DEFAULT_PIPELINE)
+    assert PassManager(pipeline="vendor").names == list(VENDOR_PIPELINE)
+    assert PassManager(names=["dce", "cse"]).names == ["dce", "cse"]
+
+
+# ---------------------------------------------------------------------------
+# idempotency: a second consecutive run reports 0 rewrites
+# ---------------------------------------------------------------------------
+
+_REWRITE_PASSES = sorted(set(DEFAULT_PIPELINE + VENDOR_PIPELINE))
+
+
+@pytest.mark.parametrize("pass_name", _REWRITE_PASSES)
+@pytest.mark.parametrize("source", [MT_SOURCE, MM_SOURCE, REDUCTION_SOURCE],
+                         ids=["MT", "MM", "REDUCTION"])
+def test_each_pass_idempotent_on_virgin_ir(pass_name, source):
+    module = lower(source)
+    pm = PassManager(names=[pass_name])
+    pm.run(module)  # first run may rewrite freely
+    second = pm.run(module)
+    assert all(r.rewrites == 0 for r in second), (
+        f"{pass_name} rewrote again on its second run: "
+        f"{[(r.function, r.rewrites) for r in second if r.rewrites]}"
+    )
+
+
+@pytest.mark.parametrize("pipeline", sorted(PIPELINES))
+def test_pipelines_idempotent_as_a_whole(pipeline):
+    module = lower(MM_SOURCE)
+    pm = PassManager(pipeline=pipeline)
+    pm.run(module)
+    assert all(r.rewrites == 0 for r in pm.run(module))
+
+
+def test_grover_pass_idempotent_via_registry():
+    module = lower(MT_SOURCE)
+    PassManager().run(module)
+    pm = PassManager(names=["grover"])
+    first = pm.run(module)
+    assert sum(r.rewrites for r in first) > 0  # the tile got removed
+    second = pm.run(module)
+    assert all(r.rewrites == 0 for r in second)  # nothing local remains
+
+
+# ---------------------------------------------------------------------------
+# verifier checkpoints between every stage, all 11 applications
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("app_id", TABLE_ORDER)
+def test_verifier_holds_between_every_stage(app_id):
+    app = get_app(app_id)
+    module = lower(app.source, app.defines, name=app_id)
+    with collect() as sink:
+        PassManager(pipeline="default", verify_between=True).run(module)
+        PassManager(pipeline="vendor", verify_between=True).run(module)
+    checkpoints = sink.of_kind("verify_ok")
+    n_fns = sum(1 for _ in module)
+    assert len(checkpoints) == n_fns * (
+        len(DEFAULT_PIPELINE) + len(VENDOR_PIPELINE)
+    )
+    stages = {e.payload["stage"] for e in checkpoints}
+    for name in DEFAULT_PIPELINE + VENDOR_PIPELINE:
+        assert f"after:{name}" in stages
+
+
+# ---------------------------------------------------------------------------
+# bit-identity with the historical pass sequences
+# ---------------------------------------------------------------------------
+
+
+def _render(module):
+    return "\n".join(print_function(fn) for fn in module)
+
+
+@pytest.mark.parametrize("source", [MT_SOURCE, MM_SOURCE, REDUCTION_SOURCE],
+                         ids=["MT", "MM", "REDUCTION"])
+def test_default_pipeline_matches_historical_sequence(source):
+    from repro.ir.passes import (
+        common_subexpression_elimination,
+        fold_constants,
+        loop_invariant_code_motion,
+        promote_single_store_slots,
+    )
+
+    legacy = lower(source)
+    for fn in legacy:  # the pre-PassManager run_default_passes body
+        promote_single_store_slots(fn)
+        fold_constants(fn)
+        common_subexpression_elimination(fn)
+        loop_invariant_code_motion(fn)
+        common_subexpression_elimination(fn)
+
+    managed = lower(source)
+    PassManager().run(managed)
+    assert _render(managed) == _render(legacy)
+
+
+@pytest.mark.parametrize("source", [MT_SOURCE, MM_SOURCE], ids=["MT", "MM"])
+def test_vendor_pipeline_matches_historical_sequence(source):
+    from repro.core.dce import eliminate_dead_code
+    from repro.core.normalize import normalize_gep_indices
+    from repro.ir.passes import (
+        common_subexpression_elimination,
+        fold_constants,
+        loop_invariant_code_motion,
+    )
+
+    legacy = lower(source)
+    PassManager().run(legacy)
+    for fn in legacy:  # the pre-PassManager vendor_optimize body
+        fold_constants(fn)
+        normalize_gep_indices(fn)
+        eliminate_dead_code(fn)
+        common_subexpression_elimination(fn)
+        loop_invariant_code_motion(fn)
+        common_subexpression_elimination(fn)
+        eliminate_dead_code(fn)
+
+    managed = lower(source)
+    PassManager().run(managed)
+    for fn in managed:
+        from repro.core.optimize import vendor_optimize
+
+        vendor_optimize(fn)
+    assert _render(managed) == _render(legacy)
+
+
+def test_run_default_passes_is_the_pass_manager():
+    """The legacy entry point and the PassManager agree exactly."""
+    from repro.ir.passes import run_default_passes
+
+    a, b = lower(MM_SOURCE), lower(MM_SOURCE)
+    run_default_passes(a)
+    PassManager().run(b)
+    assert _render(a) == _render(b)
+
+
+def test_vendor_optimize_stats_still_reported():
+    from repro.core.optimize import vendor_optimize
+
+    module = lower(MM_SOURCE)
+    PassManager().run(module)
+    stats = vendor_optimize(module.kernel())
+    assert set(stats) == {
+        "folded", "normalized", "dce", "cse", "licm", "cse2", "dce2"
+    }
+    assert all(isinstance(v, int) and v >= 0 for v in stats.values())
+
+
+# ---------------------------------------------------------------------------
+# the ``repro passes`` subcommand
+# ---------------------------------------------------------------------------
+
+
+def test_cli_passes_lists_registry(capsys):
+    from repro.cli import main
+
+    assert main(["passes"]) == 0
+    out = capsys.readouterr().out
+    for name in PASS_REGISTRY:
+        assert name in out
+    assert " -> ".join(DEFAULT_PIPELINE) in out
+
+
+def test_cli_passes_runs_a_pipeline(tmp_path, capsys):
+    from repro.cli import main
+    from repro.session import validate_jsonl
+
+    src = tmp_path / "k.cl"
+    src.write_text(MT_SOURCE)
+    trace = tmp_path / "ev.jsonl"
+    assert main([
+        "passes", "--run", str(src), "--trace-out", str(trace)
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "promote-single-store-slots" in out
+    assert "rewrites" in out
+    n = validate_jsonl(str(trace))
+    # one pass_applied + one verify_ok per stage
+    assert n == 2 * len(DEFAULT_PIPELINE)
+
+
+def test_cli_passes_rejects_bad_source(tmp_path, capsys):
+    from repro.cli import main
+
+    src = tmp_path / "bad.cl"
+    src.write_text("__kernel void k( {")
+    assert main(["passes", "--run", str(src)]) == 1
+    assert "error:" in capsys.readouterr().err
