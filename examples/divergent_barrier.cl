@@ -1,0 +1,23 @@
+/* Adversarial kernel for the analyzer's CI smoke job: the barrier sits
+ * inside a branch on the thread id, so only half the work-group ever
+ * reaches it — barrier divergence, undefined behaviour in OpenCL.  The
+ * divergence analysis proves it statically (the barrier's block does
+ * not post-dominate the varying branch) and the interpreter traps it at
+ * runtime:
+ *
+ *   python -m repro.cli analyze examples/divergent_barrier.cl \
+ *       --global-size 256 --local-size 64
+ */
+#define WG 64
+
+__kernel void divergent_barrier(__global float* out, __global const float* in)
+{
+    __local float lm[WG];
+    int lx = get_local_id(0);
+    int gid = get_global_id(0);
+    lm[lx] = in[gid];
+    if (lx < WG / 2) {
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[gid] = lm[lx];
+}

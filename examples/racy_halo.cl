@@ -1,0 +1,21 @@
+/* Adversarial kernel for the analyzer's CI smoke job: a halo-style
+ * staging pattern with an off-by-one — every work-item stores lm[lx]
+ * AND lm[lx+1], so neighbouring work-items write the same local slot
+ * before the barrier (a write-write race lm[lx] vs lm[lx+1] at
+ * lx' = lx+1).  The static pair analysis must flag it:
+ *
+ *   python -m repro.cli analyze examples/racy_halo.cl \
+ *       --global-size 256 --local-size 64
+ */
+#define WG 64
+
+__kernel void racy_halo(__global float* out, __global const float* in)
+{
+    __local float lm[WG + 1];
+    int lx = get_local_id(0);
+    int gid = get_global_id(0);
+    lm[lx] = in[gid];
+    lm[lx + 1] = in[gid];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[gid] = lm[lx] + lm[lx + 1];
+}

@@ -1,0 +1,192 @@
+"""``repro analyze``: run the race / divergence analyzer from the shell.
+
+Targets are registered app ids (``--apps`` / ``--all-apps``) and/or
+``.cl`` source files.  Each analyzed kernel prints one stable summary
+line; ``--golden FILE`` compares the lines against a checked-in golden
+summary and exits non-zero on drift (CI's ``analyze`` smoke job), and
+``--update-golden`` rewrites it.
+
+Examples::
+
+    python -m repro.cli analyze --all-apps --variant both
+    python -m repro.cli analyze examples/racy_halo.cl \
+        --global-size 256 --local-size 64
+    python -m repro.cli analyze --all-apps --variant both \
+        examples/racy_halo.cl examples/divergent_barrier.cl \
+        --global-size 256 --local-size 64 --golden tests/golden/analyze.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.frontend import FrontendError
+
+from repro.analysis.driver import analyze_app, analyze_source
+
+
+def _parse_size(text: Optional[str]) -> Optional[List[int]]:
+    if not text:
+        return None
+    return [int(t) for t in text.replace("x", ",").split(",") if t]
+
+
+def _parse_scalar(text: str):
+    try:
+        return int(text, 0)
+    except ValueError:
+        return float(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from repro.cli import add_session_flags
+
+    p = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="Static + dynamic race and barrier-divergence analysis "
+        "of OpenCL kernels (the independent arbiter of Grover legality).",
+    )
+    p.add_argument("files", nargs="*", help="OpenCL C source files to analyze")
+    p.add_argument("--apps", default=None,
+                   help="comma-separated registered app ids (e.g. AMD-MM)")
+    p.add_argument("--all-apps", action="store_true",
+                   help="analyze every registered application")
+    p.add_argument("--variant", default="with",
+                   choices=("with", "without", "both"),
+                   help="app variant(s): original, Grover-transformed, or both")
+    p.add_argument("--scale", default="test",
+                   help="app problem scale for the trace replay (default: test)")
+    p.add_argument("--static-only", action="store_true",
+                   help="skip kernel execution / dynamic trace replay")
+    p.add_argument("--kernel", default=None,
+                   help="kernel name within a source file (default: the only one)")
+    p.add_argument("-D", dest="defines", action="append", default=[],
+                   metavar="NAME=VALUE", help="preprocessor definition")
+    p.add_argument("--global-size", default=None, metavar="GX[,GY[,GZ]]",
+                   help="NDRange global size for source-file targets")
+    p.add_argument("--local-size", default=None, metavar="LX[,LY[,LZ]]",
+                   help="work-group size for source-file targets")
+    p.add_argument("--arg", dest="scalar_args", action="append", default=[],
+                   metavar="NAME=VALUE",
+                   help="scalar kernel argument for source-file targets")
+    p.add_argument("--local-arg", dest="local_args", action="append", default=[],
+                   metavar="NAME=BYTES",
+                   help="byte size of a __local pointer argument")
+    p.add_argument("--buffer-bytes", type=int, default=None,
+                   help="size of each synthetic global buffer "
+                   "(default: 16 bytes per work-item)")
+    p.add_argument("--verbose", "-v", action="store_true",
+                   help="print every finding, not just the summary lines")
+    p.add_argument("--golden", default=None, metavar="FILE",
+                   help="compare summary lines against FILE; exit 1 on drift")
+    p.add_argument("--update-golden", action="store_true",
+                   help="rewrite --golden FILE with the current summary")
+    add_session_flags(p)
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.update_golden and not args.golden:
+        print("error: --update-golden requires --golden FILE", file=sys.stderr)
+        return 2
+    if not args.files and not args.apps and not args.all_apps:
+        print("error: nothing to analyze (pass files, --apps or --all-apps)",
+              file=sys.stderr)
+        return 2
+
+    defines: Dict[str, object] = {}
+    for d in args.defines:
+        name, _, value = d.partition("=")
+        defines[name] = value or "1"
+    scalar_args = {}
+    for a in args.scalar_args:
+        name, _, value = a.partition("=")
+        scalar_args[name] = _parse_scalar(value)
+    local_args = {}
+    for a in args.local_args:
+        name, _, value = a.partition("=")
+        local_args[name] = int(value)
+
+    from repro.session import session_from_flags
+
+    reports = []  # (label, AnalysisReport)
+    with session_from_flags(args.config, args.trace_out) as session:
+        with session.activate():
+            if args.apps or args.all_apps:
+                from repro.apps.registry import all_apps, get_app
+
+                apps = (
+                    all_apps()
+                    if args.all_apps
+                    else [get_app(i) for i in args.apps.split(",")]
+                )
+                variants = (
+                    ["with", "without"] if args.variant == "both" else [args.variant]
+                )
+                for app in apps:
+                    for variant in variants:
+                        label = f"{app.id}/{variant}"
+                        rep = analyze_app(
+                            app, variant, scale=args.scale,
+                            execute=not args.static_only,
+                        )
+                        reports.append((label, rep))
+            for path in args.files:
+                label = Path(path).name
+                try:
+                    rep = analyze_source(
+                        Path(path).read_text(),
+                        kernel_name=args.kernel,
+                        defines=defines,
+                        global_size=_parse_size(args.global_size),
+                        local_size=_parse_size(args.local_size),
+                        scalar_args=scalar_args,
+                        buffer_bytes=args.buffer_bytes,
+                        local_arg_sizes=local_args or None,
+                        execute=not args.static_only,
+                        label=label,
+                    )
+                except FrontendError as exc:
+                    print(f"error: {path}: {exc}", file=sys.stderr)
+                    return 1
+                reports.append((label, rep))
+
+    lines = [rep.summary_line(label) for label, rep in reports]
+    for (label, rep), line in zip(reports, lines):
+        print(line)
+        if args.verbose:
+            for f in rep.findings:
+                print(f"    {f.render()}")
+
+    if args.golden:
+        golden_path = Path(args.golden)
+        if args.update_golden:
+            golden_path.parent.mkdir(parents=True, exist_ok=True)
+            golden_path.write_text("\n".join(lines) + "\n")
+            print(f"wrote {len(lines)} summary line(s) to {golden_path}")
+            return 0
+        if not golden_path.exists():
+            print(f"error: golden file {golden_path} does not exist "
+                  "(run with --update-golden)", file=sys.stderr)
+            return 1
+        expected = golden_path.read_text().splitlines()
+        if lines != expected:
+            print(f"\nANALYSIS DRIFT against {golden_path}:", file=sys.stderr)
+            for line in expected:
+                if line not in lines:
+                    print(f"  - {line}", file=sys.stderr)
+            for line in lines:
+                if line not in expected:
+                    print(f"  + {line}", file=sys.stderr)
+            return 1
+        print(f"\nverdicts match {golden_path} ({len(lines)} line(s))")
+
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

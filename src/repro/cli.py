@@ -18,6 +18,10 @@ Subcommands:
   and pipelines, or run a pipeline over a source file and print
   per-pass rewrite counts, instruction deltas and wall time
   (see :mod:`repro.session.passes`).
+* ``python -m repro.cli analyze [...]`` — the static/dynamic race and
+  barrier-divergence analyzer over registered apps and/or ``.cl``
+  files, with ``--golden`` verdict pinning for CI
+  (see :mod:`repro.analysis`).
 
 Every subcommand (and the default kernel command) accepts ``--config
 FILE`` (a JSON session config, see :mod:`repro.session.config`) and
@@ -30,7 +34,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.core import GroverError, GroverPass
+from repro.core import GroverError
 from repro.frontend import FrontendError
 from repro.ir.printer import print_function
 
@@ -63,6 +67,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--before",
         action="store_true",
         help="also print the IR before the transformation",
+    )
+    p.add_argument(
+        "--local-size",
+        default=None,
+        metavar="LX[,LY[,LZ]]",
+        help="work-group geometry for the $REPRO_ANALYZE race/divergence "
+        "gate (without it, undecidable access pairs only warn)",
     )
     add_session_flags(p)
     return p
@@ -172,6 +183,10 @@ def main(argv=None) -> int:
         return matrix_main(list(argv[1:]))
     if argv and argv[0] == "passes":
         return passes_main(list(argv[1:]))
+    if argv and argv[0] == "analyze":
+        from repro.analysis.cli import main as analyze_main
+
+        return analyze_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     source = Path(args.file).read_text()
     defines = {}
@@ -194,12 +209,19 @@ def main(argv=None) -> int:
             print()
 
         arrays = args.arrays.split(",") if args.arrays else None
-        pipeline = GroverPass(
-            arrays=arrays, remove_barriers=not args.keep_barriers
+        local_size = (
+            tuple(int(t) for t in args.local_size.replace("x", ",").split(","))
+            if args.local_size else None
         )
         try:
-            with session.activate():
-                report = pipeline.run(kernel)
+            # through the session so the $REPRO_ANALYZE race/divergence
+            # veto gate applies (RaceDetected is a GroverError)
+            report = session.disable_local_memory(
+                kernel,
+                local_size=local_size,
+                arrays=arrays,
+                remove_barriers=not args.keep_barriers,
+            )
         except GroverError as exc:
             print(
                 f"grover: cannot disable local memory: {exc}", file=sys.stderr

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from repro.ir.function import BasicBlock, Function
-from repro.ir.instructions import Instruction
+from repro.ir.instructions import Instruction, Ret
 
 
 def successors(block: BasicBlock) -> List[BasicBlock]:
@@ -114,6 +114,46 @@ def inst_dominates(doms: Dict[BasicBlock, Set[BasicBlock]], a: Instruction, b: I
         insts = ba.instructions
         return insts.index(a) < insts.index(b)
     return block_dominates(doms, ba, bb_)
+
+
+def post_dominators(fn: Function) -> Dict[BasicBlock, Set[BasicBlock]]:
+    """Full post-dominator sets (block -> blocks post-dominating it).
+
+    Computed over the reverse CFG with every ``ret`` block as an exit
+    (a virtual exit node is implied by seeding exit blocks with
+    themselves).  Blocks that cannot reach an exit — only possible for
+    an infinite loop — keep the full block set, i.e. everything
+    vacuously post-dominates them, which is the conservative answer for
+    the divergence analysis built on top.
+    """
+    blocks = list(fn.blocks)
+    universe = set(blocks)
+    exits = {bb for bb in blocks if isinstance(bb.terminator, Ret)}
+    pdom: Dict[BasicBlock, Set[BasicBlock]] = {
+        bb: ({bb} if bb in exits else set(universe)) for bb in blocks
+    }
+    changed = True
+    while changed:
+        changed = False
+        for bb in reversed(blocks):
+            if bb in exits:
+                continue
+            succs = bb.successors()
+            if not succs:
+                continue
+            new = set.intersection(*(pdom[s] for s in succs))
+            new.add(bb)
+            if new != pdom[bb]:
+                pdom[bb] = new
+                changed = True
+    return pdom
+
+
+def block_post_dominates(
+    pdom: Dict[BasicBlock, Set[BasicBlock]], a: BasicBlock, b: BasicBlock
+) -> bool:
+    """Does ``a`` post-dominate ``b``?"""
+    return a in pdom[b]
 
 
 def back_edges(fn: Function) -> List[tuple]:

@@ -291,7 +291,10 @@ def parallel_launch(
         for fut, i, lo, hi in futures:
             try:
                 r = fut.result()
-            except BaseException as exc:
+            except Exception as exc:
+                # pool-level death (BrokenProcessPool, pickling, ...);
+                # KeyboardInterrupt/SystemExit propagate untouched so
+                # Ctrl-C is never rewritten into a launch failure
                 raise RuntimeLaunchError(
                     f"parallel launch worker for shard {i} "
                     f"({group_span(lo, hi)}) died: {type(exc).__name__}: {exc}"

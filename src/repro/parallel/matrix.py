@@ -9,10 +9,16 @@ interpreter (shared-nothing), and the parent assembles the grid in the
 deterministic ``apps``/``devices`` input order, so serial and parallel
 results are bit-identical floats.
 
-A case whose worker crashes or raises is retried *serially in the
-parent* (``retries`` per case, default 1) — one bad fork never loses
-the matrix.  ``workers=1``, ``$REPRO_WORKERS=1`` or an unavailable
-pool all degrade to the plain serial loop.
+A case whose worker dies of *pool infrastructure* trouble (broken
+pool, lost worker, pickling) is retried serially in the parent
+(``retries`` per case, default 1) — one bad fork never loses the
+matrix.  Deterministic kernel-execution failures
+(:class:`RuntimeLaunchError`, :class:`MemoryFault`,
+:class:`BarrierDivergenceError`) are *not* retried — a serial rerun
+would fail identically — and re-raise as :class:`RuntimeLaunchError`;
+``KeyboardInterrupt``/``SystemExit`` always propagate.  ``workers=1``,
+``$REPRO_WORKERS=1`` or an unavailable pool all degrade to the plain
+serial loop.
 
 ``python -m repro.cli matrix --workers 4`` is the command-line entry.
 """
@@ -27,6 +33,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.parallel.engine import make_pool, resolve_workers
+from repro.runtime.errors import (
+    BarrierDivergenceError,
+    MemoryFault,
+    RuntimeLaunchError,
+)
 from repro.session import events
 
 #: classification threshold of the paper's Table IV (±5 %)
@@ -133,7 +144,18 @@ def run_matrix(
             for app_id in app_ids:  # input order, not completion order
                 try:
                     _, vals = futures[app_id].result()
-                except BaseException as exc:
+                except (RuntimeLaunchError, MemoryFault, BarrierDivergenceError) as exc:
+                    # deterministic kernel-execution failure: a serial
+                    # retry would fail identically — surface it instead
+                    # of burning a retry on it
+                    raise RuntimeLaunchError(
+                        f"matrix case {app_id!r} failed deterministically "
+                        f"({type(exc).__name__}: {exc}); not retrying"
+                    ) from exc
+                except Exception as exc:
+                    # pool infrastructure failure (broken pool, lost
+                    # worker, pickling): recompute serially in the parent;
+                    # KeyboardInterrupt/SystemExit propagate untouched
                     if retries <= 0:
                         raise
                     result.retried[app_id] = f"{type(exc).__name__}: {exc}"

@@ -1,5 +1,7 @@
 """Runtime diagnostics."""
 
+from typing import Optional, Sequence, Tuple
+
 
 class RuntimeLaunchError(Exception):
     """Bad launch configuration or kernel argument binding."""
@@ -9,8 +11,28 @@ class BarrierDivergenceError(Exception):
     """A barrier was reached by only a subset of a work-group's work-items.
 
     This is undefined behaviour in OpenCL; the interpreter reports it
-    instead of hanging like real hardware would.
+    instead of hanging like real hardware would.  The structured fields
+    say *which* group diverged and which work-items did / did not reach
+    the barrier — the analyzer's dynamic divergence findings are built
+    from them.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        function: Optional[str] = None,
+        group_id: Optional[Tuple[int, ...]] = None,
+        phase: Optional[int] = None,
+        arrived: Optional[Sequence[int]] = None,
+        missing: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.function = function
+        self.group_id = tuple(group_id) if group_id is not None else None
+        self.phase = phase
+        self.arrived = list(arrived) if arrived is not None else None
+        self.missing = list(missing) if missing is not None else None
 
 
 class MemoryFault(Exception):

@@ -466,9 +466,25 @@ class GroupExecutor:
     def _call(self, inst: Call, mask: np.ndarray) -> None:
         if inst.callee == "barrier":
             if not np.array_equal(mask, self.alive):
+                # diagnose before touching any state: the failing path
+                # must not advance the phase or the trace barrier count
+                arrived = self._lane_ids[mask]
+                missing = self._lane_ids[self.alive & ~mask]
+
+                def _ids(a: np.ndarray) -> str:
+                    shown = ", ".join(str(int(i)) for i in a[:8])
+                    return f"{{{shown}{', ...' if a.size > 8 else ''}}}"
+
                 raise BarrierDivergenceError(
                     f"barrier in {self.fn.name} reached by "
-                    f"{int(mask.sum())}/{int(self.alive.sum())} live work-items"
+                    f"{int(mask.sum())}/{int(self.alive.sum())} live work-items "
+                    f"of group {self.ctx.group_id} (phase {self.phase}): "
+                    f"arrived={_ids(arrived)} missing={_ids(missing)}",
+                    function=self.fn.name,
+                    group_id=self.ctx.group_id,
+                    phase=self.phase,
+                    arrived=arrived.tolist(),
+                    missing=missing.tolist(),
                 )
             self.phase += 1
             if self.trace is not None:

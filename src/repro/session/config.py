@@ -155,6 +155,15 @@ _VARS = (
         doc="Regenerate tests/golden/*.txt instead of asserting against them.",
     ),
     ConfigVar(
+        name="analyze",
+        env="REPRO_ANALYZE",
+        type="bool",
+        default=False,
+        doc="Run the static race analyzer as an independent arbiter around "
+        "Session.disable_local_memory: a kernel with a decided race is "
+        "refused (RaceDetected) before and after the transformation.",
+    ),
+    ConfigVar(
         name="trace_out",
         env="REPRO_TRACE_OUT",
         type="str",

@@ -242,8 +242,21 @@ class Session:
         self._compile_cache.clear()
 
     # -- transform -------------------------------------------------------------
-    def disable_local_memory(self, kernel_or_module, kernel_name=None, **kwargs):
-        """Run the Grover pass on a kernel in place; returns the report."""
+    def disable_local_memory(
+        self, kernel_or_module, kernel_name=None, local_size=None, **kwargs
+    ):
+        """Run the Grover pass on a kernel in place; returns the report.
+
+        With ``analyze=True`` (``$REPRO_ANALYZE``) the static race
+        analyzer vets the kernel as an independent arbiter: a decided
+        intra-group race or barrier divergence — before *or* after the
+        transformation — raises :class:`~repro.analysis.RaceDetected`
+        instead of silently transforming an already-undefined kernel
+        (Grover's Eq. 3 reasons per local array; it cannot see, e.g.,
+        two individually-invertible stores that collide with each
+        other).  ``local_size`` refines the check with concrete
+        work-group geometry (defaults to ``reqd_work_group_size``).
+        """
         from repro.core.grover import GroverPass
         from repro.ir.function import Module
 
@@ -252,7 +265,40 @@ class Session:
                 kernel = kernel_or_module.kernel(kernel_name)
             else:
                 kernel = kernel_or_module
-            return GroverPass(**kwargs).run(kernel)
+            analyze = bool(self.get("analyze"))
+            if analyze:
+                self._veto_races(kernel, local_size, stage="pre-transform")
+            report = GroverPass(**kwargs).run(kernel)
+            if analyze:
+                self._veto_races(kernel, local_size, stage="post-transform")
+            return report
+
+    def _veto_races(self, kernel, local_size, stage: str) -> None:
+        from repro.analysis import RaceDetected, analyze_kernel
+
+        geometry = local_size or kernel.reqd_work_group_size
+        rep = analyze_kernel(kernel, geometry)
+        blocking = rep.races + rep.divergences
+        if blocking:
+            raise RaceDetected(
+                f"analyzer veto ({stage}) for kernel {kernel.name!r}: "
+                + "; ".join(f.render() for f in blocking)
+            )
+        if rep.verdict == "undecided":
+            # the gate must not pretend to have checked what it could
+            # not decide (typically: no work-group geometry was given)
+            import warnings
+
+            from repro.analysis import AnalysisUndecidedWarning
+
+            warnings.warn(
+                f"analyze gate ({stage}): {rep.pairs_undecided} access "
+                f"pair(s) of kernel {kernel.name!r} are statically "
+                "undecided; pass local_size= (or declare "
+                "reqd_work_group_size) for a decisive check",
+                AnalysisUndecidedWarning,
+                stacklevel=3,
+            )
 
     # -- runtime ---------------------------------------------------------------
     def launch(self, *args, **kwargs):

@@ -112,6 +112,25 @@ EVENT_SCHEMA: Dict[str, Dict[str, Tuple[type, ...]]] = {
         "cycles": (int, float),
         "groups": (int,),
     },
+    # -- static/dynamic analyzer --------------------------------------------
+    "analysis_start": {"kernel": (str,), "mode": (str,)},
+    "analysis_finding": {
+        "kernel": (str,),
+        "finding": (str,),
+        "space": (str,),
+        "object": (str,),
+        "decided_by": (str,),
+        "detail": (str,),
+    },
+    "analysis_end": {
+        "kernel": (str,),
+        "verdict": (str,),
+        "findings": (int,),
+        "pairs_static": (int,),
+        "pairs_dynamic": (int,),
+        "pairs_undecided": (int,),
+        "wall_ms": (int, float),
+    },
     # -- experiment matrix --------------------------------------------------
     "matrix_start": {"apps": (list,), "devices": (list,), "workers": (int,)},
     "matrix_case_retried": {"app": (str,), "reason": (str,)},

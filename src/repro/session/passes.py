@@ -154,6 +154,37 @@ def _register_builtin_passes() -> None:
         "local memory (rewrites = local loads redirected to global)",
     )(_grover)
 
+    def _analyze_races(fn: Function) -> int:
+        from repro.analysis import analyze_races_static, check_staging
+        from repro.analysis.model import AnalysisReport
+
+        if not fn.is_kernel:
+            return 0
+        report = AnalysisReport(fn.name, fn.reqd_work_group_size)
+        analyze_races_static(fn, fn.reqd_work_group_size, report)
+        check_staging(fn, report)
+        return len(report.findings)
+
+    register_pass(
+        "analyze-races",
+        "static intra-group race + Grover-legality analysis; pure "
+        "diagnosis (rewrites = findings), exact geometry only with "
+        "reqd_work_group_size",
+    )(_analyze_races)
+
+    def _analyze_divergence(fn: Function) -> int:
+        from repro.analysis import analyze_divergence
+
+        if not fn.is_kernel:
+            return 0
+        return len(analyze_divergence(fn).findings)
+
+    register_pass(
+        "analyze-divergence",
+        "static barrier-divergence analysis; pure diagnosis "
+        "(rewrites = divergent barriers found)",
+    )(_analyze_divergence)
+
 
 _register_builtin_passes()
 

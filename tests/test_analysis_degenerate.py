@@ -1,0 +1,229 @@
+"""Property tests at the Eq. 3 boundary: singular and non-invertible maps.
+
+Three layers, from the solver outwards:
+
+1. ``solve_correspondence`` fed singular coefficient matrices directly —
+   the uniqueness check of Eq. 3 must refuse every rank-deficient
+   system (coupled unknowns or a missing pivot) and every non-integral
+   solution.
+2. Kernels whose index map is coupled beyond any stride split
+   (``c*(lx+ly)``): Grover refuses with its under-determined
+   diagnostic AND the analyzer independently flags the collision.
+3. The safety net: *any* non-injective store map is a write-write race,
+   and some of them defeat Grover's syntactic stride-splitting (e.g.
+   ``lx + 2*ly`` splits into apparently-independent dims because
+   nothing bounds ``lx`` by the stride).  Grover alone may be fooled —
+   exactly like ``examples/racy_halo.cl`` — so the property that must
+   hold is that the ``Session(analyze=True)`` veto gate refuses the
+   transform for every such kernel, whether or not the solver does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import RaceDetected, analyze_source
+from repro.core import GroverPass
+from repro.core.linexpr import LinExpr
+from repro.core.linsys import SolveError, solve_correspondence
+from repro.frontend import compile_kernel
+from repro.session import Session
+
+LX, LY = 8, 8
+LID0, LID1 = ("lid", 0), ("lid", 1)
+
+
+# ---------------------------------------------------------------------------
+# layer 1: the solver itself, fed singular systems over LinExpr
+# ---------------------------------------------------------------------------
+
+
+def _lin(a: int, b: int) -> LinExpr:
+    return LinExpr.symbol(LID0).scale(a) + LinExpr.symbol(LID1).scale(b)
+
+
+nonzero_pair = st.tuples(st.integers(-4, 4), st.integers(-4, 4)).filter(
+    lambda t: t != (0, 0)
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pq=nonzero_pair, st_=nonzero_pair)
+def test_singular_systems_have_no_unique_solution(pq, st_):
+    # rank-1 by construction: the outer product of (s, t) and (p, q)
+    (p, q), (s, t) = pq, st_
+    a, b, c, d = s * p, s * q, t * p, t * q
+    assert a * d == b * c
+    ls = [_lin(a, b), _lin(c, d)]
+    ll = [_lin(a, b), _lin(c, d)]  # consistent RHS: failure is uniqueness
+    with pytest.raises(SolveError):
+        solve_correspondence(ls, ll, required={LID0, LID1})
+
+
+@settings(max_examples=30, deadline=None)
+@given(k=st.integers(2, 9))
+def test_strided_store_solution_is_not_integral(k):
+    # k*lx = lx' solves to lx = lx'/k: between data elements
+    with pytest.raises(SolveError, match="not integral"):
+        solve_correspondence(
+            [_lin(k, 0)], [LinExpr.symbol(LID0)], required={LID0}
+        )
+
+
+COPRIME = [
+    (a, b)
+    for a in range(-3, 4) for b in range(-3, 4)
+    if (a, b) != (0, 0) and np.gcd(a, b) == 1
+]
+
+
+@settings(max_examples=30, deadline=None)
+@given(ab=st.sampled_from(COPRIME), det=st.sampled_from([-1, 1]))
+def test_unimodular_systems_solve_exactly(ab, det):
+    # complete the coprime row (a, b) to an integer matrix with
+    # determinant +-1 via the extended Euclid coefficients
+    a, b = ab
+    # extended Euclid: find (c, d) with a*d - b*c == det
+    g, x, y = _egcd(a, b)
+    c, d = -y * det, x * det
+    assert a * d - b * c == det
+    sol = solve_correspondence(
+        [_lin(a, b), _lin(c, d)],
+        [_lin(a, b), _lin(c, d)],
+        required={LID0, LID1},
+    )
+    assert LID0 in sol and LID1 in sol
+    # the solution maps the reader's ids back to themselves
+    assert sol[LID0].render() in ("lx", "get_local_id(0)", "lid0") or sol[LID0].coeff(LID0) == 1
+
+
+def _egcd(a: int, b: int):
+    if b == 0:
+        return (a, 1, 0) if a > 0 else (-a, -1, 0)
+    g, x, y = _egcd(b, a % b)
+    return g, y, x - (a // b) * y
+
+
+# ---------------------------------------------------------------------------
+# layer 2: coupled kernel maps that no stride split can separate
+# ---------------------------------------------------------------------------
+
+
+def coupled_kernel(c: int) -> str:
+    """Every work-item (lx, ly) with equal lx+ly collides: singular map."""
+    size = c * (LX + LY) + 8
+    return f"""
+__kernel void k(__global float* out, __global const float* in)
+{{
+    __local float lm[{size}];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    lm[{c}*(lx + ly)] = in[get_global_id(1)*{LX} + get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(1)*{LX} + get_global_id(0)] = lm[{c}*(lx + ly)];
+}}
+"""
+
+
+@settings(max_examples=8, deadline=None)
+@given(c=st.integers(1, 8))
+def test_coupled_maps_rejected_by_grover_and_flagged_by_analyzer(c):
+    src = coupled_kernel(c)
+    report = GroverPass(allow_partial=True).run(compile_kernel(src))
+    assert [r.name for r in report.rejected] == ["lm"]
+    assert "under-determined" in report.rejected[0].reason
+
+    analysis = analyze_source(
+        src, global_size=(LX, LY), local_size=(LX, LY), execute=False
+    )
+    assert analysis.verdict == "race"
+    assert analysis.findings_on("lm")
+
+
+# ---------------------------------------------------------------------------
+# layer 3: every non-injective map is stopped by the veto gate, even the
+# ones whose stride structure fools the solver into a diagonal system
+# ---------------------------------------------------------------------------
+
+
+def map_kernel_2d(a: int, b: int, c: int, d: int) -> str:
+    size = 8 * (abs(a) + abs(b)) * 8 + 8 * (abs(c) + abs(d)) + 64
+    return f"""
+__kernel void k(__global float* out, __global const float* in)
+{{
+    __local float lm[{size}];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int idx = ({a}*lx + {b}*ly)*8 + ({c}*lx + {d}*ly);
+    lm[idx] = in[get_global_id(1)*{LX} + get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(1)*{LX} + get_global_id(0)] = lm[idx];
+}}
+"""
+
+
+def injective_on_box(a: int, b: int, c: int, d: int) -> bool:
+    lx, ly = np.meshgrid(np.arange(LX), np.arange(LY), indexing="ij")
+    idx = (a * lx + b * ly) * 8 + (c * lx + d * ly)
+    return len(np.unique(idx)) == idx.size
+
+
+# enumerate the 0..3 coefficient box once: sampling beats filtering
+_ALL = [
+    (a, b, c, d)
+    for a in range(4) for b in range(4) for c in range(4) for d in range(4)
+]
+COLLIDING = [t for t in _ALL if not injective_on_box(*t)]
+UNIMODULAR = [
+    t for t in _ALL
+    if abs(t[0] * t[3] - t[1] * t[2]) == 1 and injective_on_box(*t)
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(t=st.sampled_from(COLLIDING))
+def test_no_colliding_map_survives_the_veto_gate(t):
+    a, b, c, d = t
+    src = map_kernel_2d(a, b, c, d)
+
+    analysis = analyze_source(
+        src, global_size=(LX, LY), local_size=(LX, LY), execute=False
+    )
+    assert analysis.verdict == "race", (
+        f"analyzer must flag the colliding map ({a},{b};{c},{d})"
+    )
+
+    s = Session(env={}, analyze=True)
+    with pytest.raises(RaceDetected):
+        s.disable_local_memory(s.compile_kernel(src), local_size=(LX, LY))
+
+
+@settings(max_examples=40, deadline=None)
+@given(t=st.sampled_from(UNIMODULAR))
+def test_injective_unimodular_maps_accepted_by_both_arbiters(t):
+    a, b, c, d = t
+    src = map_kernel_2d(a, b, c, d)
+
+    report = GroverPass(allow_partial=True).run(compile_kernel(src))
+    assert [r.name for r in report.transformed] == ["lm"], (
+        f"Grover should accept the unimodular map ({a},{b};{c},{d})"
+    )
+
+    analysis = analyze_source(
+        src, global_size=(LX, LY), local_size=(LX, LY), execute=False
+    )
+    assert not analysis.races
+    assert not analysis.divergences
+
+
+def test_zero_map_is_the_extreme_singular_case():
+    # every work-item hits lm[0]: maximal collision
+    src = map_kernel_2d(0, 0, 0, 0)
+    report = GroverPass(allow_partial=True).run(compile_kernel(src))
+    assert [r.name for r in report.rejected] == ["lm"]
+    analysis = analyze_source(
+        src, global_size=(LX, LY), local_size=(LX, LY), execute=False
+    )
+    assert analysis.verdict == "race"

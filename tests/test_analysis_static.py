@@ -1,0 +1,292 @@
+"""Static analyzer: phase regions, pair decisions, staging, divergence.
+
+The ISSUE-4 tentpole: an independent, static arbiter for the properties
+Grover's legality argument rests on — no intra-group races, no barrier
+divergence, every local byte staged from global memory.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_kernel
+from repro.analysis.races import (
+    analyze_races_static,
+    collect_accesses,
+    phase_regions,
+)
+from repro.frontend import compile_kernel
+from repro.ir.cfg import post_dominators
+
+
+TRANSPOSE = """
+__kernel void t(__global float* out, __global const float* in) {
+    __local float lm[16][16];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    lm[ly][lx] = in[get_global_id(1)*32 + get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(1)*32 + get_global_id(0)] = lm[lx][ly];
+}
+"""
+
+
+class TestPhaseRegions:
+    def test_barrier_splits_straightline_code(self):
+        fn = compile_kernel(TRANSPOSE)
+        regions, barriers = phase_regions(fn)
+        assert barriers == 1
+        accs = collect_accesses(fn)
+        local = [a for a in accs if a.obj_name == "lm"]
+        store = next(a for a in local if a.is_store)
+        load = next(a for a in local if not a.is_store)
+        assert store.region != load.region
+
+    def test_single_barrier_loop_merges_through_back_edge(self):
+        # the classic missing-second-barrier shape: the load of iteration
+        # t and the store of iteration t+1 meet through the back edge,
+        # so they must share a phase region (and indeed can race)
+        src = """
+__kernel void k(__global float* out, __global const float* in, int n) {
+    __local float lm[16];
+    int li = get_local_id(0);
+    float acc = 0.0f;
+    for (int t = 0; t < n; ++t) {
+        lm[li] = in[t*16 + li];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        acc += lm[15 - li];
+    }
+    out[get_global_id(0)] = acc;
+}
+"""
+        fn = compile_kernel(src)
+        accs = [a for a in collect_accesses(fn) if a.obj_name == "lm"]
+        store = next(a for a in accs if a.is_store)
+        load = next(a for a in accs if not a.is_store)
+        assert store.region == load.region
+
+    def test_double_barrier_loop_keeps_regions_apart(self):
+        # with the second barrier closing the iteration, store and load
+        # never share a region (the NVD-MM software-pipeline shape)
+        src = """
+__kernel void k(__global float* out, __global const float* in, int n) {
+    __local float lm[16];
+    int li = get_local_id(0);
+    float acc = 0.0f;
+    for (int t = 0; t < n; ++t) {
+        lm[li] = in[t*16 + li];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        acc += lm[15 - li];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[get_global_id(0)] = acc;
+}
+"""
+        fn = compile_kernel(src)
+        accs = [a for a in collect_accesses(fn) if a.obj_name == "lm"]
+        store = next(a for a in accs if a.is_store)
+        load = next(a for a in accs if not a.is_store)
+        assert store.region != load.region
+
+
+class TestPairDecisions:
+    def _accesses(self, src):
+        fn = compile_kernel(src)
+        return fn, [a for a in collect_accesses(fn) if a.obj_name == "lm"]
+
+    def test_identity_staging_is_safe(self):
+        fn = compile_kernel(TRANSPOSE)
+        report = analyze_kernel(fn, (16, 16))
+        assert report.verdict == "clean"
+        assert report.pairs_undecided == 0
+
+    def test_offset_store_race_detected(self):
+        src = """
+__kernel void k(__global float* out, __global const float* in) {
+    __local float lm[65];
+    int lx = get_local_id(0);
+    lm[lx] = in[get_global_id(0)];
+    lm[lx + 1] = in[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = lm[lx];
+}
+"""
+        fn = compile_kernel(src)
+        report = analyze_kernel(fn, (64,))
+        assert report.verdict == "race"
+        kinds = {f.kind for f in report.findings}
+        assert "race-ww" in kinds
+        assert all(f.decided_by == "static" for f in report.races)
+
+    def test_same_phase_read_write_race(self):
+        src = """
+__kernel void k(__global int* out) {
+    __local int lm[64];
+    int lx = get_local_id(0);
+    lm[lx] = lx;
+    out[get_global_id(0)] = lm[63 - lx];  /* no barrier in between */
+}
+"""
+        fn = compile_kernel(src)
+        report = analyze_races_static(fn, (64,))
+        assert any(f.kind == "race-rw" for f in report.findings)
+
+    def test_byte_granularity_overlap(self):
+        # int stores at 4*lx vs char loads at lx: lanes 4..63 read bytes
+        # other lanes wrote in the same phase
+        src = """
+__kernel void k(__global char* out, __global const int* in) {
+    __local int lm[64];
+    int lx = get_local_id(0);
+    lm[lx] = in[get_global_id(0)];
+    out[get_global_id(0)] = ((__local char*)lm)[lx];
+}
+"""
+        fn = compile_kernel(src)
+        report = analyze_races_static(fn, (64,))
+        assert any(f.kind == "race-rw" for f in report.findings)
+
+    def test_no_geometry_means_undecided(self):
+        fn = compile_kernel(TRANSPOSE)
+        report = analyze_races_static(fn, None)
+        assert report.pairs_undecided > 0
+
+    def test_symbolic_shared_delta_is_undecided(self):
+        # store at lx + H (argument-dependent): the delta between the
+        # two stores depends on a group-uniform unknown
+        src = """
+__kernel void k(__global float* out, __global const float* in, int H) {
+    __local float lm[128];
+    int lx = get_local_id(0);
+    lm[lx] = in[get_global_id(0)];
+    lm[lx + H] = in[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = lm[lx];
+}
+"""
+        fn = compile_kernel(src)
+        report = analyze_races_static(fn, (64,))
+        assert report.pairs_undecided > 0
+        assert not report.findings  # nothing decided -> nothing claimed
+
+    def test_guarded_access_goes_to_dynamic(self):
+        # halo pattern: guarded store would look racy to the box
+        # enumeration; it must be deferred, not misreported
+        src = """
+__kernel void k(__global float* out, __global const float* in) {
+    __local float lm[66];
+    int lx = get_local_id(0);
+    int gid = get_global_id(0);
+    lm[lx + 1] = in[gid];
+    if (lx == 0) lm[0] = in[gid];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[gid] = lm[lx] + lm[lx + 1];
+}
+"""
+        fn = compile_kernel(src)
+        report = analyze_races_static(fn, (64,))
+        assert not report.races
+        assert report.pairs_undecided > 0
+
+
+class TestStaging:
+    def test_computed_store_is_irreversible(self):
+        src = """
+__kernel void k(__global float* out, __global const float* in) {
+    __local float lm[64];
+    int lx = get_local_id(0);
+    lm[lx] = in[get_global_id(0)] * 2.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = lm[lx];
+}
+"""
+        report = analyze_kernel(compile_kernel(src), (64,))
+        assert report.verdict == "irreversible"
+        assert any(f.kind == "non-global-staging" for f in report.findings)
+
+    def test_global_staging_is_clean(self):
+        report = analyze_kernel(compile_kernel(TRANSPOSE), (16, 16))
+        assert not any(f.kind == "non-global-staging" for f in report.findings)
+
+
+class TestDivergence:
+    def test_divergent_barrier_flagged(self):
+        src = """
+__kernel void k(__global int* out) {
+    __local int lm[64];
+    int lx = get_local_id(0);
+    lm[lx] = lx;
+    if (lx < 32) { barrier(CLK_LOCAL_MEM_FENCE); }
+    out[get_global_id(0)] = lm[lx];
+}
+"""
+        report = analyze_kernel(compile_kernel(src), (64,))
+        assert report.verdict == "divergent"
+        f = report.divergences[0]
+        assert f.decided_by == "static"
+        assert f.a_inst is not None and f.b_inst is not None
+
+    def test_guarded_store_with_postdominating_barrier_is_fine(self):
+        # the ROD-SC shape: the branch rejoins before the barrier
+        src = """
+__kernel void k(__global int* out, __global const int* in) {
+    __local int lm[64];
+    int lx = get_local_id(0);
+    if (lx < 16) { lm[lx] = in[get_global_id(0)]; }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = lm[lx % 16];
+}
+"""
+        report = analyze_kernel(compile_kernel(src), (64,))
+        assert not report.divergences
+
+    def test_uniform_branch_barrier_is_fine(self):
+        # branching on a kernel argument is group-uniform
+        src = """
+__kernel void k(__global int* out, __global const int* in, int flag) {
+    __local int lm[64];
+    int lx = get_local_id(0);
+    lm[lx] = in[get_global_id(0)];
+    if (flag) { barrier(CLK_LOCAL_MEM_FENCE); }
+    out[get_global_id(0)] = lm[lx];
+}
+"""
+        report = analyze_kernel(compile_kernel(src), (64,))
+        assert not report.divergences
+
+    def test_barrier_in_uniform_loop_is_fine(self):
+        src = """
+__kernel void k(__global int* out, int n) {
+    __local int lm[16];
+    int li = get_local_id(0);
+    int acc = 0;
+    for (int t = 0; t < n; ++t) {
+        lm[li] = li + t;
+        barrier(CLK_LOCAL_MEM_FENCE);
+        acc += lm[(li + 1) % 16];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[get_global_id(0)] = acc;
+}
+"""
+        report = analyze_kernel(compile_kernel(src), (16,))
+        assert not report.divergences
+
+
+class TestPostDominators:
+    def test_diamond(self):
+        src = """
+__kernel void k(__global int* out, int c) {
+    int x;
+    if (c) { x = 1; } else { x = 2; }
+    out[get_global_id(0)] = x;
+}
+"""
+        fn = compile_kernel(src)
+        pdom = post_dominators(fn)
+        blocks = {bb.name: bb for bb in fn.blocks}
+        entry = fn.entry
+        join = next(
+            bb for bb in fn.blocks
+            if bb.name not in ("if.then", "if.else") and bb is not entry
+        )
+        assert join in pdom[entry]
+        assert blocks["if.then"] not in pdom[entry]

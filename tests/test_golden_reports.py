@@ -78,5 +78,6 @@ def test_golden_dir_has_no_strays():
     if not GOLDEN_DIR.exists():
         pytest.skip("golden dir not generated yet")
     known = {f"{app_id}.txt" for app_id in TABLE_ORDER}
+    known.add("analyze.txt")  # the `repro analyze` verdict summary (CI)
     strays = {p.name for p in GOLDEN_DIR.glob("*.txt")} - known
     assert not strays, f"unexpected golden files: {sorted(strays)}"

@@ -121,3 +121,94 @@ def test_worker_fault_range_covers_the_faulting_group():
     with pytest.raises(RuntimeLaunchError) as excinfo:
         _launch_with(_FAULTY_SOURCE, workers=2, groups=4)
     assert "flat groups 0..0" not in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------------
+# ISSUE-4 exception narrowing: KeyboardInterrupt/SystemExit propagate,
+# deterministic kernel errors are not retried as pool failures
+# ---------------------------------------------------------------------------
+
+
+class _FakeFuture:
+    def __init__(self, exc):
+        self._exc = exc
+
+    def result(self):
+        raise self._exc
+
+
+class _FakePool:
+    """Pool double whose every future raises a chosen exception."""
+
+    def __init__(self, exc):
+        self._exc = exc
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *a):
+        return False
+
+    def submit(self, fn, *args, **kwargs):
+        return _FakeFuture(self._exc)
+
+
+def test_launch_wraps_worker_exceptions_as_launch_error(monkeypatch):
+    import repro.parallel.engine as engine
+
+    monkeypatch.setattr(engine, "make_pool", lambda n: _FakePool(RuntimeError("boom")))
+    with pytest.raises(RuntimeLaunchError, match="died: RuntimeError: boom"):
+        _launch_with(_SOURCE, workers=2)
+
+
+@pytest.mark.parametrize("exc_type", [KeyboardInterrupt, SystemExit])
+def test_launch_lets_interrupts_propagate(monkeypatch, exc_type):
+    import repro.parallel.engine as engine
+
+    monkeypatch.setattr(engine, "make_pool", lambda n: _FakePool(exc_type()))
+    with pytest.raises(exc_type) as excinfo:
+        _launch_with(_SOURCE, workers=2)
+    assert not isinstance(excinfo.value, RuntimeLaunchError)
+
+
+def _run_small_matrix(monkeypatch, exc):
+    import repro.parallel.matrix as matrix
+    from repro.perf.devices import CPU_DEVICES
+
+    monkeypatch.setattr(matrix, "make_pool", lambda n: _FakePool(exc))
+    dev = next(iter(CPU_DEVICES))
+    return matrix.run_matrix(
+        apps=["AMD-MM", "AMD-MT"], devices=[dev], workers=2, scale="test"
+    )
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        RuntimeLaunchError("bad binding"),
+        MemoryFault("oob"),
+    ],
+)
+def test_matrix_does_not_retry_deterministic_kernel_errors(monkeypatch, exc):
+    with pytest.raises(RuntimeLaunchError, match="not retrying"):
+        _run_small_matrix(monkeypatch, exc)
+
+
+def test_matrix_does_not_retry_barrier_divergence(monkeypatch):
+    from repro.runtime.errors import BarrierDivergenceError
+
+    with pytest.raises(RuntimeLaunchError, match="not retrying"):
+        _run_small_matrix(monkeypatch, BarrierDivergenceError("diverged"))
+
+
+def test_matrix_retries_pool_infrastructure_failures(monkeypatch):
+    result = _run_small_matrix(monkeypatch, RuntimeError("lost worker"))
+    # both cases recomputed serially, values intact
+    assert set(result.retried) == {"AMD-MM", "AMD-MT"}
+    assert all(v > 0 for per_app in result.values.values() for v in per_app.values())
+
+
+@pytest.mark.parametrize("exc_type", [KeyboardInterrupt, SystemExit])
+def test_matrix_lets_interrupts_propagate(monkeypatch, exc_type):
+    with pytest.raises(exc_type):
+        _run_small_matrix(monkeypatch, exc_type())

@@ -234,3 +234,62 @@ class TestLaunchValidation:
         buf = mem.alloc(1024)
         with pytest.raises(RuntimeLaunchError, match="dimensionality"):
             launch(kernel, (16, 16), (16,), {"in": buf, "out": buf, "W": 16, "H": 16})
+
+
+class TestDivergenceDiagnostics:
+    """ISSUE-4: the divergence error carries the group, the phase and the
+    work-item sets, and the failing path leaves the trace untouched."""
+
+    # one good barrier, then a divergent one: only lanes >= 8 arrive
+    SRC = """
+__kernel void diverge(__global int* out) {
+    __local int lm[16];
+    int li = get_local_id(0);
+    lm[li] = li;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (li >= 8) {
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[get_global_id(0)] = lm[li];
+}
+"""
+
+    def _execute_traced(self):
+        from repro.runtime import GroupTrace
+        from repro.runtime.builtins import WorkItemContext
+        from repro.runtime.interpreter import GroupExecutor
+
+        kernel = compile_kernel(self.SRC)
+        mem = Memory()
+        out = mem.alloc(16 * 4, "out")
+        arg_values = {a: out for a in kernel.args if a.name == "out"}
+        local_buffers = {
+            la: mem.alloc(la.nbytes, la.name) for la in kernel.local_arrays
+        }
+        ctx = WorkItemContext((1,), (16,), (32,))
+        gt = GroupTrace((1,), ctx.n_lanes)
+        ex = GroupExecutor(kernel, ctx, mem, arg_values, local_buffers, {}, gt)
+        with pytest.raises(BarrierDivergenceError) as excinfo:
+            ex.run()
+        return gt, excinfo.value
+
+    def test_error_carries_structured_fields(self):
+        _, err = self._execute_traced()
+        assert err.function == "diverge"
+        assert err.group_id == (1,)
+        assert err.phase == 1  # one successful barrier preceded it
+        assert err.arrived == list(range(8, 16))
+        assert err.missing == list(range(8))
+
+    def test_message_names_group_and_both_work_item_sets(self):
+        _, err = self._execute_traced()
+        msg = str(err)
+        assert "group (1,)" in msg
+        assert "phase 1" in msg
+        assert "arrived={8, 9" in msg
+        assert "missing={0, 1" in msg
+
+    def test_failing_path_does_not_count_the_barrier(self):
+        gt, _ = self._execute_traced()
+        # only the first (successful) barrier is counted
+        assert gt.barriers == 1

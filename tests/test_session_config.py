@@ -35,6 +35,7 @@ def test_registry_covers_every_historical_env_var():
         "REPRO_WORKERS",
         "REPRO_COMPILE_CACHE_SIZE",
         "REPRO_UPDATE_GOLDEN",
+        "REPRO_ANALYZE",
         "REPRO_TRACE_OUT",
     }
     # name <-> env spelling is a bijection
@@ -220,3 +221,30 @@ def test_activation_scopes_config_lookups():
 def test_get_unknown_name_raises():
     with pytest.raises(ConfigError, match="unknown config key"):
         Session(env={}).get("nope")
+
+
+# ---------------------------------------------------------------------------
+# ISSUE-4 env-coercion boundaries: every rejection is a ConfigError that
+# names the offending variable (not a bare ValueError/TypeError)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("raw", ["0", "-7", "four", "2.5", "1e3"])
+def test_workers_env_rejection_is_config_error_naming_variable(raw):
+    s = Session(env={"REPRO_WORKERS": raw})
+    with pytest.raises(
+        ConfigError, match=r"\$REPRO_WORKERS must be a positive integer"
+    ):
+        s.get("workers")
+
+
+def test_workers_env_boundary_one_is_accepted():
+    assert Session(env={"REPRO_WORKERS": "1"}).get("workers") == 1
+
+
+def test_analyze_var_defaults_off_and_parses_bool_words():
+    assert Session(env={}).get("analyze") is False
+    assert Session(env={"REPRO_ANALYZE": "1"}).get("analyze") is True
+    assert Session(env={"REPRO_ANALYZE": "off"}).get("analyze") is False
+    with pytest.raises(ConfigError, match="REPRO_ANALYZE"):
+        Session(env={"REPRO_ANALYZE": "maybe"}).get("analyze")
