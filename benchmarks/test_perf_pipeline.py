@@ -21,6 +21,7 @@ from repro.perf.bench import (
     DEFAULT_APPS,
     SCHEMA_VERSION,
     bench_app,
+    bench_smoke,
     run_bench,
 )
 
@@ -29,11 +30,14 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 @pytest.fixture(scope="module")
 def small_bench():
-    return run_bench(apps=["NVD-MT", "NVD-MM-B"], scale="test", sample_groups=4)
+    return run_bench(
+        apps=["NVD-MT", "NVD-MM-B"], scale="test", sample_groups=4, smoke=False
+    )
 
 
 def test_schema(small_bench):
     assert small_bench["schema"] == SCHEMA_VERSION
+    assert small_bench["exec_backend"] in ("tape", "reference")
     for app_id in ["NVD-MT", "NVD-MM-B"]:
         r = small_bench["apps"][app_id]
         stages = r["stages"]
@@ -41,12 +45,15 @@ def test_schema(small_bench):
             "compile_cold_s",
             "compile_cached_s",
             "launch_trace_s",
+            "launch_trace_tape_s",
             "cycles_reference_s",
             "cycles_fast_s",
         ):
             assert stages[key] >= 0.0
         assert r["equivalence"] == "exact"
+        assert r["exec_backend"] in ("tape", "reference")
         assert r["trace_to_cycles_speedup"] > 0
+        assert r["launch_trace_tape_speedup"] > 0
 
 
 def test_compile_cache_speedup(small_bench):
@@ -70,9 +77,18 @@ def test_stencil_equivalence():
     assert r["equivalence"] == "exact"
 
 
+def test_smoke_sweep_covers_all_table_apps():
+    """Every Table III app passes the tape-vs-reference trace diff."""
+    smoke = bench_smoke(sample_groups=4)
+    assert len(smoke["apps"]) == 11
+    for app_id, entry in smoke["apps"].items():
+        assert entry["equivalence"] == "exact", app_id
+
+
 def test_committed_baseline_records_acceptance():
     """The committed bench-scale baseline must exist and show the >=5x
-    trace->cycles speedup for transpose and matmul."""
+    trace->cycles speedup for transpose and matmul, plus the >=5x
+    tape-backend launch+trace speedup for all three timed apps."""
     path = REPO_ROOT / "BENCH_pipeline.json"
     data = json.loads(path.read_text())
     assert data["schema"] == SCHEMA_VERSION
@@ -81,3 +97,7 @@ def test_committed_baseline_records_acceptance():
     for app_id in ("NVD-MT", "NVD-MM-B"):
         assert data["apps"][app_id]["trace_to_cycles_speedup"] >= 5.0
         assert data["apps"][app_id]["equivalence"] == "exact"
+    for app_id in DEFAULT_APPS:
+        assert data["apps"][app_id]["launch_trace_tape_speedup"] >= 5.0
+        assert data["apps"][app_id]["exec_backend"] == "tape"
+    assert len(data["smoke"]["apps"]) == 11

@@ -45,6 +45,7 @@ __kernel void mmmKernel(__global float* C, __global const float* A,
 #: (M, K, N) with N divisible by 4*BS
 _SIZES = {
     "test": (32, 48, 64),
+    "smoke": (32, 48, 64),
     "small": (32, 128, 256),
     "bench": (32, 256, 1024),
 }

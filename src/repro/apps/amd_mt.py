@@ -42,7 +42,7 @@ __kernel void transpose_vec(__global float* out, __global const float* in,
 """
 
 #: (H, W) of the input matrix; W must be divisible by 4*S
-_SIZES = {"test": (64, 64), "small": (128, 256), "bench": (512, 1024)}
+_SIZES = {"test": (64, 64), "smoke": (64, 64), "small": (128, 256), "bench": (512, 1024)}
 
 
 def make_problem(scale: str) -> Problem:

@@ -44,7 +44,7 @@ __kernel void rowFilter(__global float* out, __global const float* in,
 """
 
 #: (H, W) of the image; W divisible by S
-_SIZES = {"test": (8, 128), "small": (32, 256), "bench": (64, 1024)}
+_SIZES = {"test": (8, 128), "smoke": (8, 128), "small": (32, 256), "bench": (64, 1024)}
 
 
 def make_problem(scale: str) -> Problem:

@@ -36,7 +36,7 @@ __kernel void stringSearch(__global uint* match, __global const uchar* text,
 """
 
 #: number of searchable positions
-_SIZES = {"test": 1024, "small": 8192, "bench": 65536}
+_SIZES = {"test": 1024, "smoke": 1024, "small": 8192, "bench": 65536}
 
 
 def make_problem(scale: str) -> Problem:

@@ -47,7 +47,7 @@ __kernel void stencil7(__global float* out, __global const float* in,
 }
 """
 
-_SIZES = {"test": (8, 8, 8), "small": (16, 16, 16), "bench": (16, 32, 64)}
+_SIZES = {"test": (8, 8, 8), "smoke": (8, 8, 8), "small": (16, 16, 16), "bench": (16, 32, 64)}
 
 C0, C1 = np.float32(0.4), np.float32(0.1)
 

@@ -49,6 +49,7 @@ __kernel void matrixMul(__global float* C, __global float* A,
 #: access conflict-prone, while M stays small so interpretation is fast.
 _SIZES = {
     "test": (32, 48, 32),
+    "smoke": (32, 48, 32),
     "small": (32, 128, 256),
     "bench": (32, 256, 1024),
 }

@@ -31,7 +31,7 @@ __kernel void transpose(__global float* out, __global const float* in,
 }
 """
 
-_SIZES = {"test": 64, "bench": 1024, "small": 128}
+_SIZES = {"test": 64, "smoke": 64, "bench": 1024, "small": 128}
 
 
 def make_problem(scale: str) -> Problem:

@@ -57,7 +57,7 @@ __kernel void nbodyForces(__global float* fx, __global float* fy,
 }
 """
 
-_SIZES = {"test": 128, "small": 256, "bench": 512}
+_SIZES = {"test": 128, "smoke": 128, "small": 256, "bench": 512}
 
 
 def _reference(pos: np.ndarray) -> np.ndarray:

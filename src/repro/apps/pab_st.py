@@ -44,7 +44,7 @@ __kernel void stencil5(__global float* out, __global const float* in,
 }
 """
 
-_SIZES = {"test": (64, 64), "small": (128, 128), "bench": (512, 1024)}
+_SIZES = {"test": (64, 64), "smoke": (64, 64), "small": (128, 128), "bench": (512, 1024)}
 
 C0, C1 = np.float32(0.5), np.float32(0.125)
 

@@ -42,7 +42,7 @@ __kernel void distKernel(__global float* dist, __global const float* coord,
 #: point counts chosen so the dimension-major stride is not a multiple of
 #: 1024 floats (which would alias every dimension into one cache set and
 #: dominate both kernel versions with the same pathology)
-_SIZES = {"test": 512, "small": 4160, "bench": 65600}
+_SIZES = {"test": 512, "smoke": 512, "small": 4160, "bench": 65600}
 
 
 def make_problem(scale: str) -> Problem:

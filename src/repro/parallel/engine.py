@@ -130,6 +130,9 @@ def _serialize_launch(
 ) -> bytes:
     """One payload for every shard of a launch (pickled exactly once)."""
     from repro.runtime.buffers import Buffer
+    from repro.session import current_session
+
+    session = current_session()
 
     buffers: Dict[int, Tuple[int, str, bytes]] = {}
     arg_spec: Dict[str, Tuple[str, object]] = {}
@@ -150,6 +153,10 @@ def _serialize_launch(
         "collect_trace": collect_trace,
         "sample_groups": sample_groups,
         "next_id": memory._next_id,
+        # shards must run the parent's execution backend: the session
+        # object itself never crosses the process boundary
+        "exec_backend": str(session.get("exec_backend")),
+        "tape_batch": int(session.get("tape_batch")),
     }
     return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
 
@@ -185,18 +192,23 @@ def _launch_shard(payload_bytes: bytes, shard_index: int, lo: int, hi: int) -> d
         }
         before = {buf_id: mem.buffers[buf_id].data.copy() for buf_id in p["buffers"]}
 
-        res = launch(
-            p["kernel"],
-            p["global_size"],
-            p["local_size"],
-            args,
-            memory=mem,
-            local_arg_sizes=p["local_arg_sizes"],
-            collect_trace=p["collect_trace"],
-            sample_groups=p["sample_groups"],
-            workers=1,
-            _group_slice=(lo, hi),
-        )
+        from repro.session import Session
+
+        with Session(
+            exec_backend=p["exec_backend"], tape_batch=p["tape_batch"]
+        ).activate():
+            res = launch(
+                p["kernel"],
+                p["global_size"],
+                p["local_size"],
+                args,
+                memory=mem,
+                local_arg_sizes=p["local_arg_sizes"],
+                collect_trace=p["collect_trace"],
+                sample_groups=p["sample_groups"],
+                workers=1,
+                _group_slice=(lo, hi),
+            )
 
         diffs: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         for buf_id, prev in before.items():

@@ -31,6 +31,8 @@ import os
 import time
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.apps.harness import compile_app, execute_app
 from repro.apps.registry import get_app
 from repro.frontend import clear_compile_cache, compile_kernel
@@ -38,12 +40,18 @@ from repro.parallel.diff import DifferentialMismatch, assert_traces_equal
 from repro.perf import devices
 from repro.perf.cpumodel import CPUModel
 from repro.perf.gpumodel import GPUModel
+from repro.runtime import Memory, launch
 from repro.runtime.trace import KernelTrace
+from repro.session import Session, current_session
 
 #: app ids benchmarked by default: transpose, tiled matmul, stencil
 DEFAULT_APPS = ("NVD-MT", "NVD-MM-B", "PAB-ST")
 DEFAULT_SAMPLE_GROUPS = 16
-SCHEMA_VERSION = 2
+#: groups executed by the timed launch+trace tier (capped at the app's
+#: total): large enough that per-launch costs (tape compile, the pilot
+#: group) amortise the way they do in a real Table IV sweep
+TRACE_SAMPLE_GROUPS = 256
+SCHEMA_VERSION = 3
 
 
 class EquivalenceError(AssertionError):
@@ -76,12 +84,75 @@ def _check_equivalence(trace: KernelTrace, cpu_spec, gpu_spec) -> None:
             )
 
 
+def _problem_args(app, scale: str):
+    """Fresh Memory + bound kernel arguments (host setup, never timed).
+
+    Mirrors :func:`repro.apps.harness.execute_app`'s allocation order so
+    buffer ids — and therefore trace event streams — are reproducible
+    across independently built problems.
+    """
+    problem = app.make_problem(scale)
+    mem = Memory()
+    args: Dict[str, object] = {}
+    buffers: Dict[str, object] = {}
+    for name, value in problem.inputs.items():
+        if isinstance(value, np.ndarray):
+            buf = mem.from_array(value, name)
+            buffers[name] = buf
+            args[name] = buf
+        else:
+            args[name] = value
+    for name, expected in problem.expected.items():
+        if name not in buffers:
+            buf = mem.alloc(expected.nbytes, name)
+            buffers[name] = buf
+            args[name] = buf
+    return problem, mem, args
+
+
+def _timed_launch(kernel, app, scale: str, sample_groups: int, backend: str):
+    """One traced launch under ``backend``; returns (seconds, trace).
+
+    A 2-group warm-up launch runs first (identical for both backends)
+    so process-cold costs — module imports, numpy dispatch caches —
+    don't land inside whichever backend happens to be timed first.
+    The tape pilot and compile are *not* warmed away: the timed launch
+    pays them in full, as any real sweep iteration would.
+    """
+    with Session(exec_backend=backend).activate():
+        problem, mem, args = _problem_args(app, scale)
+        launch(
+            kernel,
+            problem.global_size,
+            problem.local_size,
+            args,
+            memory=mem,
+            local_arg_sizes=problem.local_arg_sizes or None,
+            collect_trace=True,
+            sample_groups=2,
+        )
+        problem, mem, args = _problem_args(app, scale)
+        t0 = time.perf_counter()
+        res = launch(
+            kernel,
+            problem.global_size,
+            problem.local_size,
+            args,
+            memory=mem,
+            local_arg_sizes=problem.local_arg_sizes or None,
+            collect_trace=True,
+            sample_groups=sample_groups,
+        )
+        return time.perf_counter() - t0, res.trace
+
+
 def bench_app(
     app_id: str,
     scale: str = "bench",
     sample_groups: int = DEFAULT_SAMPLE_GROUPS,
     variants: Sequence[str] = ("with", "without"),
     workers: int = 1,
+    trace_sample_groups: int = TRACE_SAMPLE_GROUPS,
 ) -> Dict:
     """Time each pipeline stage for one app; returns a JSON-ready dict."""
     app = get_app(app_id)
@@ -102,18 +173,38 @@ def bench_app(
     # -- launch + trace -------------------------------------------------------
     # one kernel object per variant: event-stream bit-identity (inst ids
     # included) is defined per compiled kernel, and the parallel stage
-    # below must diff against the very same object
+    # below must diff against the very same object.  Host problem setup
+    # happens outside the timer; each backend is timed on the identical
+    # workload and the tape trace must equal the reference trace
+    # bit-for-bit before either number is recorded.
     kernels = {var: compile_app(app, var)[0] for var in variants}
-    traces: Dict[str, KernelTrace] = {}
-    t0 = time.perf_counter()
+    ref_s = 0.0
+    tape_s = 0.0
     for var in variants:
-        run = execute_app(
+        dt_ref, tr_ref = _timed_launch(
+            kernels[var], app, scale, trace_sample_groups, "reference"
+        )
+        dt_tape, tr_tape = _timed_launch(
+            kernels[var], app, scale, trace_sample_groups, "tape"
+        )
+        assert_traces_equal(tr_ref, tr_tape, f"{app_id}[{var}] tape backend")
+        ref_s += dt_ref
+        tape_s += dt_tape
+    out["stages"]["launch_trace_s"] = ref_s
+    out["stages"]["launch_trace_tape_s"] = tape_s
+    out["launch_trace_tape_speedup"] = ref_s / tape_s if tape_s > 0 else float("inf")
+    out["launch_sample_groups"] = trace_sample_groups
+    out["exec_backend"] = str(current_session().get("exec_backend"))
+
+    # model-tier traces: small sampled launches through the session's
+    # backend (the cycles numbers stay comparable with older schemas)
+    traces: Dict[str, KernelTrace] = {
+        var: execute_app(
             app, kernels[var], variant=var, scale=scale,
             collect_trace=True, sample_groups=sample_groups,
-        )
-        traces[var] = run.trace
-    t1 = time.perf_counter()
-    out["stages"]["launch_trace_s"] = t1 - t0
+        ).trace
+        for var in variants
+    }
 
     # -- launch + trace, sharded over workers ---------------------------------
     if workers > 1:
@@ -197,23 +288,68 @@ def bench_matrix(workers: int, scale: str = "bench") -> Dict:
     return out
 
 
+def bench_smoke(
+    scale: str = "smoke", sample_groups: int = DEFAULT_SAMPLE_GROUPS
+) -> Dict:
+    """Correctness sweep of every Table III app at the smoke scale.
+
+    Each app runs both variants through the session's execution backend
+    and again through the reference executor; the traces must match
+    bit-for-bit before the (untimed-tier) wall-clock is recorded.  This
+    is coverage, not a timing tier — the three ``DEFAULT_APPS`` at the
+    ``bench`` scale remain the numbers to track.
+    """
+    from repro.apps.registry import table_apps
+
+    out: Dict = {
+        "scale": scale,
+        "sample_groups": sample_groups,
+        "exec_backend": str(current_session().get("exec_backend")),
+        "apps": {},
+    }
+    for app in table_apps():
+        t0 = time.perf_counter()
+        for var in ("with", "without"):
+            kernel, _ = compile_app(app, var)
+            run = execute_app(
+                app, kernel, variant=var, scale=scale,
+                collect_trace=True, sample_groups=sample_groups,
+            )
+            with Session(exec_backend="reference").activate():
+                ref = execute_app(
+                    app, kernel, variant=var, scale=scale,
+                    collect_trace=True, sample_groups=sample_groups,
+                )
+            assert_traces_equal(ref.trace, run.trace, f"{app.id}[{var}] smoke")
+        out["apps"][app.id] = {
+            "wall_s": time.perf_counter() - t0,
+            "equivalence": "exact",
+        }
+    return out
+
+
 def run_bench(
     apps: Sequence[str] = DEFAULT_APPS,
     scale: str = "bench",
     sample_groups: int = DEFAULT_SAMPLE_GROUPS,
     workers: int = 1,
+    smoke: bool = True,
 ) -> Dict:
     results = {
         "schema": SCHEMA_VERSION,
         "description": "wall-clock seconds per pipeline stage "
-        "(compile / launch+trace / trace->cycles, reference vs fast path; "
-        "parallel stages are differentially verified before timing)",
+        "(compile / launch+trace with tape vs reference executor / "
+        "trace->cycles, reference vs fast cache path; parallel stages "
+        "are differentially verified before timing)",
         "devices": {"cpu": devices.SNB.name, "gpu": devices.FERMI.name},
         "host_cpus": os.cpu_count() or 1,
+        "exec_backend": str(current_session().get("exec_backend")),
         "apps": {},
     }
     for app_id in apps:
         results["apps"][app_id] = bench_app(app_id, scale, sample_groups, workers=workers)
+    if smoke:
+        results["smoke"] = bench_smoke(sample_groups=sample_groups)
     if workers > 1:
         results["parallel_matrix"] = bench_matrix(workers, scale)
     return results
@@ -258,9 +394,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(text)
     for app_id, r in results["apps"].items():
         print(
-            f"# {app_id}: trace->cycles {r['trace_to_cycles_speedup']:.1f}x "
+            f"# {app_id}: launch+trace {r['launch_trace_tape_speedup']:.1f}x "
+            f"(ref {r['stages']['launch_trace_s']:.3f}s -> "
+            f"tape {r['stages']['launch_trace_tape_s']:.3f}s), "
+            f"trace->cycles {r['trace_to_cycles_speedup']:.1f}x "
             f"(ref {r['stages']['cycles_reference_s']:.3f}s -> "
             f"fast {r['stages']['cycles_fast_s']:.3f}s)"
+        )
+    smoke = results.get("smoke")
+    if smoke:
+        total = sum(a["wall_s"] for a in smoke["apps"].values())
+        print(
+            f"# smoke: {len(smoke['apps'])} apps x 2 variants verified "
+            f"exact vs reference executor in {total:.2f}s "
+            f"(backend {smoke['exec_backend']})"
         )
     matrix = results.get("parallel_matrix")
     if matrix:

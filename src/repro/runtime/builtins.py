@@ -134,20 +134,23 @@ def eval_builtin(inst: Call, args: List[np.ndarray], ctx: WorkItemContext) -> np
     if name in WORK_ITEM_QUERIES:
         return ctx.query(name, args, ctx.n_lanes)
 
+    # vector builtins address the component axis as ``-1`` so the same
+    # code serves the serial (lanes, k) and tape-batched (groups, lanes,
+    # k) layouts — identical results for the 2-D case
     if name == "splat":
         vty = inst.type
         assert isinstance(vty, VectorType)
-        return np.repeat(args[0][:, None], vty.count, axis=1)
+        return np.repeat(args[0][..., None], vty.count, axis=-1)
     if name == "convert":
         vty = inst.type
         assert isinstance(vty, VectorType)
         return args[0].astype(vty.element.numpy_dtype)
     if name.startswith("make_"):
-        return np.stack(args, axis=1)
+        return np.stack(args, axis=-1)
     if name == "dot":
         a, b = args
         with np.errstate(all="ignore"):
-            return (a * b).sum(axis=1)
+            return (a * b).sum(axis=-1)
 
     with np.errstate(all="ignore"):
         if name in _UNARY_NUMPY:

@@ -62,18 +62,26 @@ def _reverse_postorder(fn: Function) -> Dict[BasicBlock, int]:
 
     This ordering places loop bodies before loop exits, so min-RPO
     scheduling drains a loop completely before running its exit block.
+
+    Iterative (explicit stack of block/successor-iterator frames) so a
+    deep single-chain CFG cannot hit python's recursion limit; the
+    visit order is exactly the recursive formulation's.
     """
-    seen = set()
+    seen = {fn.entry}
     post: List[BasicBlock] = []
-
-    def visit(bb: BasicBlock) -> None:
-        seen.add(bb)
-        for succ in reversed(bb.successors()):
+    stack: List[Tuple[BasicBlock, object]] = [
+        (fn.entry, iter(reversed(fn.entry.successors())))
+    ]
+    while stack:
+        bb, succs = stack[-1]
+        for succ in succs:
             if succ not in seen:
-                visit(succ)
-        post.append(bb)
-
-    visit(fn.entry)
+                seen.add(succ)
+                stack.append((succ, iter(reversed(succ.successors()))))
+                break
+        else:
+            post.append(bb)
+            stack.pop()
     return {bb: i for i, bb in enumerate(reversed(post))}
 
 
@@ -110,6 +118,10 @@ class GroupExecutor:
         self.slots: Dict[Alloca, np.ndarray] = {}
         self.phase = 0
         self.alive = np.ones(self.n, dtype=bool)
+        #: cleared by the tape backend for executors that only *finish*
+        #: a group (pilot replays and eviction resumes), so each group
+        #: still produces exactly one ``group_executed`` event
+        self.emit_group_executed = True
         self.rpo = _reverse_postorder(fn)
         self._lane_ids = np.arange(self.n, dtype=np.int64)
         #: buffers allocated for private arrays; freed by the launcher
@@ -150,10 +162,19 @@ class GroupExecutor:
         return self.values[v]
 
     # -- main loop ---------------------------------------------------------------
-    def run(self) -> None:
+    def run(self, pending: Optional[Dict[BasicBlock, np.ndarray]] = None) -> None:
+        """Drain the block scheduler to completion.
+
+        ``pending`` injects a mid-flight scheduler state instead of the
+        fresh ``{entry: alive}`` start — the tape backend uses it to hand
+        a work-group evicted from a batched replay back to this scalar
+        path without re-running (and re-applying the side effects of)
+        the prefix it already executed.
+        """
         from repro.session import events
 
-        pending: Dict[BasicBlock, np.ndarray] = {self.fn.entry: self.alive.copy()}
+        if pending is None:
+            pending = {self.fn.entry: self.alive.copy()}
         rpo = self.rpo
         while pending:
             bb = min(pending, key=lambda b: rpo.get(b, 1 << 30))
@@ -166,11 +187,40 @@ class GroupExecutor:
                     pending[succ] = pending[succ] | m
                 elif m.any():
                     pending[succ] = m
-        events.emit(
-            "group_executed",
-            group_id=list(self.ctx.group_id),
-            work_items=self.n,
-        )
+        if self.emit_group_executed:
+            events.emit(
+                "group_executed",
+                group_id=list(self.ctx.group_id),
+                work_items=self.n,
+            )
+
+    def resume_block(
+        self,
+        bb: BasicBlock,
+        start_index: int,
+        mask: np.ndarray,
+        pending: Dict[BasicBlock, np.ndarray],
+    ) -> None:
+        """Finish ``bb`` from instruction ``start_index`` on, then drain.
+
+        The tape backend calls this when a group diverges from the taped
+        schedule partway through a block: the instructions before
+        ``start_index`` already executed (their effects are applied and
+        traced), so only the tail is run here — the block's retired-
+        instruction weight was accounted when the block started, exactly
+        as :meth:`exec_block` would have.
+        """
+        for inst in bb.instructions[start_index:]:
+            if inst.is_terminator:
+                for succ, m in self.exec_terminator(inst, mask):
+                    if succ in pending:
+                        pending[succ] = pending[succ] | m
+                    elif m.any():
+                        pending[succ] = m
+                self.run(pending)
+                return
+            self.exec_inst(inst, mask)
+        raise RuntimeLaunchError(f"block {bb.name} has no terminator")
 
     def exec_block(self, bb: BasicBlock, mask: np.ndarray):
         if self.trace is not None:

@@ -190,55 +190,86 @@ def launch(
                 groups_executed=result.groups_executed,
                 work_items=result.work_items,
                 wall_ms=(time.perf_counter() - t_start) * 1e3,
+                error="",
             )
             return result
         # pool unavailable or payload not shippable -> serial fallback
 
+    from repro.session import current_session
+
+    session = current_session()
+    backend = str(session.get("exec_backend"))
+
     # __local and private (alloca) arenas are owned by the launch and
-    # reused (re-zeroed) across groups instead of alloc/free per group
-    local_buffers = {
-        la: memory.alloc(la.nbytes, f"local:{la.name}") for la in kernel.local_arrays
-    }
-    local_arg_buffers = {
-        a: memory.alloc(local_arg_sizes[a.name], f"local:{a.name}")
-        for a in local_ptr_args
-    }
+    # reused (re-zeroed) across groups instead of alloc/free per group;
+    # the finally block returns them to Memory even when a group faults
+    # mid-sweep, so an aborted launch never leaks arena buffers
+    local_buffers = local_arg_buffers = None
     private_arena: list = []
-
-    group_traces = []
+    group_traces: list = []
     work_items = 0
-    for i, flat in enumerate(picks):
-        gid = []
-        rem = int(flat)
-        for d in range(ndim):
-            gid.append(rem % groups_per_dim[d])
-            rem //= groups_per_dim[d]
-        gid_t = tuple(gid)
+    try:
+        local_buffers = {
+            la: memory.alloc(la.nbytes, f"local:{la.name}")
+            for la in kernel.local_arrays
+        }
+        local_arg_buffers = {
+            a: memory.alloc(local_arg_sizes[a.name], f"local:{a.name}")
+            for a in local_ptr_args
+        }
 
-        ctx = WorkItemContext(gid_t, lsize, gsize)
-        work_items += ctx.n_lanes
+        if backend == "tape" and len(picks) > 1:
+            from repro.runtime.tape import execute_tape
 
-        if i:
-            for buf in local_buffers.values():
-                buf.data[:] = 0
-            for buf in local_arg_buffers.values():
-                buf.data[:] = 0
+            group_traces, work_items = execute_tape(
+                kernel, picks, groups_per_dim, gsize, lsize, arg_values,
+                local_buffers, local_arg_buffers, memory, private_arena,
+                collect_trace, int(session.get("tape_batch")),
+            )
+        else:
+            for i, flat in enumerate(picks):
+                gid = []
+                rem = int(flat)
+                for d in range(ndim):
+                    gid.append(rem % groups_per_dim[d])
+                    rem //= groups_per_dim[d]
+                gid_t = tuple(gid)
 
-        gt = GroupTrace(gid_t, ctx.n_lanes) if collect_trace else None
-        ex = GroupExecutor(
-            kernel, ctx, memory, arg_values, local_buffers, local_arg_buffers, gt,
-            private_arena=private_arena,
-        )
-        ex.run()
-        if gt is not None:
-            group_traces.append(gt)
+                ctx = WorkItemContext(gid_t, lsize, gsize)
+                work_items += ctx.n_lanes
 
-    for buf in local_buffers.values():
-        memory.free(buf)
-    for buf in local_arg_buffers.values():
-        memory.free(buf)
-    for buf in private_arena:
-        memory.free(buf)
+                if i:
+                    for buf in local_buffers.values():
+                        buf.data[:] = 0
+                    for buf in local_arg_buffers.values():
+                        buf.data[:] = 0
+
+                gt = GroupTrace(gid_t, ctx.n_lanes) if collect_trace else None
+                ex = GroupExecutor(
+                    kernel, ctx, memory, arg_values, local_buffers,
+                    local_arg_buffers, gt, private_arena=private_arena,
+                )
+                ex.run()
+                if gt is not None:
+                    group_traces.append(gt)
+    except Exception as exc:
+        if _group_slice is None:
+            events.emit(
+                "launch_end",
+                kernel=kernel.name,
+                groups_executed=0,
+                work_items=work_items,
+                wall_ms=(time.perf_counter() - t_start) * 1e3,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        raise
+    finally:
+        for buf in (local_buffers or {}).values():
+            memory.free(buf)
+        for buf in (local_arg_buffers or {}).values():
+            memory.free(buf)
+        for buf in private_arena:
+            memory.free(buf)
 
     trace = (
         KernelTrace(group_traces, total_groups, lsize, gsize) if collect_trace else None
@@ -250,5 +281,6 @@ def launch(
             groups_executed=len(picks),
             work_items=work_items,
             wall_ms=(time.perf_counter() - t_start) * 1e3,
+            error="",
         )
     return LaunchResult(trace=trace, groups_executed=len(picks), work_items=work_items)

@@ -171,6 +171,25 @@ _VARS = (
         doc="Path of a JSONL event-trace file; when set, a Session attaches "
         "a JSONL sink for its lifetime (same as --trace-out).",
     ),
+    ConfigVar(
+        name="exec_backend",
+        env="REPRO_EXEC_BACKEND",
+        type="str",
+        default="tape",
+        choices=("tape", "reference"),
+        doc="Interpreter execution backend: 'tape' (pilot-group schedule "
+        "compiled once, replayed group-batched) or 'reference' (the "
+        "per-group SIMT scheduler). Results are bit-identical.",
+    ),
+    ConfigVar(
+        name="tape_batch",
+        env="REPRO_TAPE_BATCH",
+        type="int",
+        default=256,
+        minimum=1,
+        doc="Work-groups stacked per batched tape replay (the leading "
+        "axis size of the batched value arrays).",
+    ),
 )
 
 #: by registry name ("workers")

@@ -104,6 +104,29 @@ EVENT_SCHEMA: Dict[str, Dict[str, Tuple[type, ...]]] = {
         "groups_executed": (int,),
         "work_items": (int,),
         "wall_ms": (int, float),
+        # "" on success; "ExcType: message" when the launch raised (the
+        # event is emitted either way, so a sweep that dies mid-launch
+        # still closes its launch_start bracket in the JSONL stream)
+        "error": (str,),
+    },
+    "tape_compile": {
+        "kernel": (str,),
+        "steps": (int,),
+        "closures": (int,),
+        "wall_ms": (int, float),
+    },
+    "tape_replay": {
+        "kernel": (str,),
+        "groups": (int,),
+        "batches": (int,),
+        "evicted": (int,),
+        "wall_ms": (int, float),
+    },
+    "tape_evict": {
+        "kernel": (str,),
+        "group_id": (list,),
+        "step": (int,),
+        "reason": (str,),
     },
     # -- performance models -------------------------------------------------
     "model_memo_hit": {"device": (str,), "fingerprint_sha1": (str,)},

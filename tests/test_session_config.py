@@ -37,6 +37,8 @@ def test_registry_covers_every_historical_env_var():
         "REPRO_UPDATE_GOLDEN",
         "REPRO_ANALYZE",
         "REPRO_TRACE_OUT",
+        "REPRO_EXEC_BACKEND",
+        "REPRO_TAPE_BATCH",
     }
     # name <-> env spelling is a bijection
     assert len(REGISTRY) == len(ENV_REGISTRY)
