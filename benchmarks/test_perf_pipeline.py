@@ -46,6 +46,7 @@ def test_schema(small_bench):
             "compile_cached_s",
             "launch_trace_s",
             "launch_trace_tape_s",
+            "launch_trace_codegen_s",
             "cycles_reference_s",
             "cycles_fast_s",
         ):
@@ -54,6 +55,8 @@ def test_schema(small_bench):
         assert r["exec_backend"] in ("tape", "reference")
         assert r["trace_to_cycles_speedup"] > 0
         assert r["launch_trace_tape_speedup"] > 0
+        assert r["launch_trace_codegen_speedup"] > 0
+        assert r["codegen_vs_tape_speedup"] > 0
 
 
 def test_compile_cache_speedup(small_bench):
@@ -101,3 +104,35 @@ def test_committed_baseline_records_acceptance():
         assert data["apps"][app_id]["launch_trace_tape_speedup"] >= 5.0
         assert data["apps"][app_id]["exec_backend"] == "tape"
     assert len(data["smoke"]["apps"]) == 11
+
+
+def test_committed_baseline_records_codegen_acceptance():
+    """The codegen tier's acceptance: every timed app records the
+    codegen launch+trace stage with the differential gate passed, and
+    the generated module beats the tape replay >=3x on at least two of
+    the three headline apps (at bench scale; a loose floor elsewhere so
+    machine noise can't flake the committed numbers)."""
+    path = REPO_ROOT / "BENCH_pipeline.json"
+    data = json.loads(path.read_text())
+    for app_id in DEFAULT_APPS:
+        r = data["apps"][app_id]
+        assert r["stages"]["launch_trace_codegen_s"] > 0
+        assert r["equivalence"] == "exact"
+        assert r["codegen_vs_tape_speedup"] >= 1.0
+    fast = [
+        app_id for app_id in DEFAULT_APPS
+        if data["apps"][app_id]["codegen_vs_tape_speedup"] >= 3.0
+    ]
+    assert len(fast) >= 2, {
+        a: data["apps"][a]["codegen_vs_tape_speedup"] for a in DEFAULT_APPS
+    }
+
+
+def test_app_id_validation_rejects_unknown_ids():
+    from repro.perf.bench import validate_app_ids
+
+    assert validate_app_ids(["NVD-MT", "PAB-ST"]) == ["NVD-MT", "PAB-ST"]
+    with pytest.raises(ValueError) as exc:
+        validate_app_ids(["NVD-MT", "NVD-TYPO"])
+    assert "NVD-TYPO" in str(exc.value)
+    assert "valid ids" in str(exc.value)

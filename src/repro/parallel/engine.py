@@ -157,6 +157,8 @@ def _serialize_launch(
         # object itself never crosses the process boundary
         "exec_backend": str(session.get("exec_backend")),
         "tape_batch": int(session.get("tape_batch")),
+        "trace_spill_mb": int(session.get("trace_spill_mb")),
+        "codegen_cache_dir": session.get("codegen_cache_dir"),
     }
     return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
 
@@ -194,9 +196,14 @@ def _launch_shard(payload_bytes: bytes, shard_index: int, lo: int, hi: int) -> d
 
         from repro.session import Session
 
-        with Session(
-            exec_backend=p["exec_backend"], tape_batch=p["tape_batch"]
-        ).activate():
+        shard_cfg = {
+            "exec_backend": p["exec_backend"],
+            "tape_batch": p["tape_batch"],
+            "trace_spill_mb": p["trace_spill_mb"],
+        }
+        if p["codegen_cache_dir"]:
+            shard_cfg["codegen_cache_dir"] = p["codegen_cache_dir"]
+        with Session(**shard_cfg).activate():
             res = launch(
                 p["kernel"],
                 p["global_size"],

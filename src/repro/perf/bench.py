@@ -26,6 +26,7 @@ single-core host the parallel numbers measure overhead, not speedup.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import time
@@ -51,7 +52,7 @@ DEFAULT_SAMPLE_GROUPS = 16
 #: total): large enough that per-launch costs (tape compile, the pilot
 #: group) amortise the way they do in a real Table IV sweep
 TRACE_SAMPLE_GROUPS = 256
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 class EquivalenceError(AssertionError):
@@ -110,14 +111,36 @@ def _problem_args(app, scale: str):
     return problem, mem, args
 
 
+#: a timed launch under this many seconds is repeated and the minimum
+#: kept (see :func:`_timed_launch`); longer launches stay single-shot
+#: so the bench wall time stays bounded
+REPEAT_UNDER_S = 0.5
+TIMED_REPEATS = 3
+
+
 def _timed_launch(kernel, app, scale: str, sample_groups: int, backend: str):
-    """One traced launch under ``backend``; returns (seconds, trace).
+    """Traced launch under ``backend``; returns (seconds, trace).
 
     A 2-group warm-up launch runs first (identical for both backends)
     so process-cold costs — module imports, numpy dispatch caches —
     don't land inside whichever backend happens to be timed first.
     The tape pilot and compile are *not* warmed away: the timed launch
     pays them in full, as any real sweep iteration would.
+
+    Launches that finish under :data:`REPEAT_UNDER_S` are re-run up to
+    :data:`TIMED_REPEATS` times and the minimum is reported: on a
+    shared host, scheduler preemption only ever *adds* time, so the
+    minimum is the best estimate of the true cost — and the same rule
+    is applied to every backend, so no ratio is biased by it.  Long
+    launches stay single-shot (their relative jitter is small and the
+    repeats would dominate the bench's wall time).
+
+    The cyclic GC is collected before and switched off during the
+    timed region: the traces retained for the differential checks hold
+    millions of objects, and a mid-launch generational sweep over them
+    lands on whichever backend is unlucky (observed 0.5s–2.6s for the
+    identical tape launch).  Refcounting still frees everything the
+    launch itself drops.
     """
     with Session(exec_backend=backend).activate():
         problem, mem, args = _problem_args(app, scale)
@@ -131,19 +154,30 @@ def _timed_launch(kernel, app, scale: str, sample_groups: int, backend: str):
             collect_trace=True,
             sample_groups=2,
         )
-        problem, mem, args = _problem_args(app, scale)
-        t0 = time.perf_counter()
-        res = launch(
-            kernel,
-            problem.global_size,
-            problem.local_size,
-            args,
-            memory=mem,
-            local_arg_sizes=problem.local_arg_sizes or None,
-            collect_trace=True,
-            sample_groups=sample_groups,
-        )
-        return time.perf_counter() - t0, res.trace
+        dt = None
+        for _ in range(TIMED_REPEATS):
+            problem, mem, args = _problem_args(app, scale)
+            gc.collect()
+            gc.disable()
+            try:
+                t0 = time.perf_counter()
+                res = launch(
+                    kernel,
+                    problem.global_size,
+                    problem.local_size,
+                    args,
+                    memory=mem,
+                    local_arg_sizes=problem.local_arg_sizes or None,
+                    collect_trace=True,
+                    sample_groups=sample_groups,
+                )
+                dt_i = time.perf_counter() - t0
+            finally:
+                gc.enable()
+            dt = dt_i if dt is None else min(dt, dt_i)
+            if dt_i >= REPEAT_UNDER_S:
+                break
+        return dt, res.trace
 
 
 def bench_app(
@@ -180,6 +214,7 @@ def bench_app(
     kernels = {var: compile_app(app, var)[0] for var in variants}
     ref_s = 0.0
     tape_s = 0.0
+    codegen_s = 0.0
     for var in variants:
         dt_ref, tr_ref = _timed_launch(
             kernels[var], app, scale, trace_sample_groups, "reference"
@@ -188,11 +223,23 @@ def bench_app(
             kernels[var], app, scale, trace_sample_groups, "tape"
         )
         assert_traces_equal(tr_ref, tr_tape, f"{app_id}[{var}] tape backend")
+        dt_cg, tr_cg = _timed_launch(
+            kernels[var], app, scale, trace_sample_groups, "codegen"
+        )
+        assert_traces_equal(tr_ref, tr_cg, f"{app_id}[{var}] codegen backend")
         ref_s += dt_ref
         tape_s += dt_tape
+        codegen_s += dt_cg
     out["stages"]["launch_trace_s"] = ref_s
     out["stages"]["launch_trace_tape_s"] = tape_s
+    out["stages"]["launch_trace_codegen_s"] = codegen_s
     out["launch_trace_tape_speedup"] = ref_s / tape_s if tape_s > 0 else float("inf")
+    out["launch_trace_codegen_speedup"] = (
+        ref_s / codegen_s if codegen_s > 0 else float("inf")
+    )
+    out["codegen_vs_tape_speedup"] = (
+        tape_s / codegen_s if codegen_s > 0 else float("inf")
+    )
     out["launch_sample_groups"] = trace_sample_groups
     out["exec_backend"] = str(current_session().get("exec_backend"))
 
@@ -328,6 +375,21 @@ def bench_smoke(
     return out
 
 
+def validate_app_ids(apps: Sequence[str]) -> List[str]:
+    """Check every id against the registry; unknown names raise a
+    ``ValueError`` that lists the valid ids."""
+    from repro.apps.registry import table_apps
+
+    valid = [a.id for a in table_apps()]
+    unknown = [a for a in apps if a not in valid]
+    if unknown:
+        raise ValueError(
+            f"unknown app id(s): {', '.join(unknown)}; "
+            f"valid ids: {', '.join(valid)}"
+        )
+    return list(apps)
+
+
 def run_bench(
     apps: Sequence[str] = DEFAULT_APPS,
     scale: str = "bench",
@@ -335,12 +397,13 @@ def run_bench(
     workers: int = 1,
     smoke: bool = True,
 ) -> Dict:
+    validate_app_ids(apps)
     results = {
         "schema": SCHEMA_VERSION,
         "description": "wall-clock seconds per pipeline stage "
-        "(compile / launch+trace with tape vs reference executor / "
-        "trace->cycles, reference vs fast cache path; parallel stages "
-        "are differentially verified before timing)",
+        "(compile / launch+trace with reference vs tape vs codegen "
+        "executor / trace->cycles, reference vs fast cache path; every "
+        "backend is differentially verified before timing)",
         "devices": {"cpu": devices.SNB.name, "gpu": devices.FERMI.name},
         "host_cpus": os.cpu_count() or 1,
         "exec_backend": str(current_session().get("exec_backend")),
@@ -362,7 +425,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "and check fast-path equivalence.",
     )
     p.add_argument("--apps", default=",".join(DEFAULT_APPS),
-                   help="comma-separated app ids")
+                   help="comma-separated app ids (rerun a subset of the "
+                   "sweep; unknown names fail listing the valid ids)")
     p.add_argument("--scale", default="bench", help="problem scale")
     p.add_argument("--sample-groups", type=int, default=DEFAULT_SAMPLE_GROUPS)
     p.add_argument("--workers", type=int, default=None,
@@ -380,9 +444,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.parallel.engine import resolve_workers
     from repro.session import session_from_flags
 
+    app_ids = [a.strip() for a in args.apps.split(",") if a.strip()]
+    try:
+        validate_app_ids(app_ids)
+    except ValueError as exc:
+        p.error(str(exc))
     with session_from_flags(args.config, args.trace_out):
         results = run_bench(
-            [a.strip() for a in args.apps.split(",") if a.strip()],
+            app_ids,
             args.scale,
             args.sample_groups,
             workers=resolve_workers(args.workers),
@@ -396,7 +465,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"# {app_id}: launch+trace {r['launch_trace_tape_speedup']:.1f}x "
             f"(ref {r['stages']['launch_trace_s']:.3f}s -> "
-            f"tape {r['stages']['launch_trace_tape_s']:.3f}s), "
+            f"tape {r['stages']['launch_trace_tape_s']:.3f}s -> "
+            f"codegen {r['stages']['launch_trace_codegen_s']:.3f}s, "
+            f"{r['codegen_vs_tape_speedup']:.1f}x over tape), "
             f"trace->cycles {r['trace_to_cycles_speedup']:.1f}x "
             f"(ref {r['stages']['cycles_reference_s']:.3f}s -> "
             f"fast {r['stages']['cycles_fast_s']:.3f}s)"

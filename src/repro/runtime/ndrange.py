@@ -200,6 +200,19 @@ def launch(
     session = current_session()
     backend = str(session.get("exec_backend"))
 
+    # out-of-core trace handling: every collected GroupTrace is adopted
+    # by a spill store that keeps resident event bytes under
+    # $REPRO_TRACE_SPILL_MB, compressing the oldest batches to disk and
+    # streaming them back transparently on access
+    store = None
+    if collect_trace:
+        from repro.runtime.trace import TraceSpillStore
+
+        store = TraceSpillStore(
+            int(session.get("trace_spill_mb")) * 1024 * 1024,
+            kernel=kernel.name,
+        )
+
     # __local and private (alloca) arenas are owned by the launch and
     # reused (re-zeroed) across groups instead of alloc/free per group;
     # the finally block returns them to Memory even when a group faults
@@ -224,7 +237,17 @@ def launch(
             group_traces, work_items = execute_tape(
                 kernel, picks, groups_per_dim, gsize, lsize, arg_values,
                 local_buffers, local_arg_buffers, memory, private_arena,
+                collect_trace, int(session.get("tape_batch")), store=store,
+            )
+        elif backend == "codegen" and len(picks) > 1:
+            from repro.runtime.codegen import execute_codegen
+
+            cache_dir = session.get("codegen_cache_dir")
+            group_traces, work_items = execute_codegen(
+                kernel, picks, groups_per_dim, gsize, lsize, arg_values,
+                local_buffers, local_arg_buffers, memory, private_arena,
                 collect_trace, int(session.get("tape_batch")),
+                cache_dir=str(cache_dir) if cache_dir else None, store=store,
             )
         else:
             for i, flat in enumerate(picks):
@@ -251,6 +274,8 @@ def launch(
                 )
                 ex.run()
                 if gt is not None:
+                    if store is not None:
+                        store.adopt(gt)
                     group_traces.append(gt)
     except Exception as exc:
         if _group_slice is None:

@@ -76,7 +76,7 @@ from repro.runtime.buffers import OFFSET_BITS, OFFSET_MASK, Buffer, Memory
 from repro.runtime.builtins import WorkItemContext, eval_builtin
 from repro.runtime.errors import RuntimeLaunchError
 from repro.runtime.interpreter import GroupExecutor, _np_type
-from repro.runtime.trace import GroupTrace, MemEvent
+from repro.runtime.trace import GroupTrace, MemEvent, TraceSpillStore, split_records
 from repro.session import events
 
 #: scratch (batch-local) buffer ids start here — far above any id the
@@ -92,7 +92,7 @@ class _Step:
 
     __slots__ = (
         "bb", "mask", "succ", "cond", "alive_before", "alive_after",
-        "weight", "ops", "guard",
+        "weight", "ops", "op_pos", "guard",
     )
 
     def __init__(self, bb: BasicBlock, mask: np.ndarray) -> None:
@@ -104,6 +104,8 @@ class _Step:
         self.alive_after: Optional[np.ndarray] = None
         self.weight = 0
         self.ops: List = []
+        #: instruction index within the block -> position in ``ops``
+        self.op_pos: Dict[int, int] = {}
         self.guard = None
 
 
@@ -227,6 +229,7 @@ class TapeExecutor:
         private_arena: List[Buffer],
         collect_trace: bool,
         pilot: _RecordingExecutor,
+        compile_closures: bool = True,
     ) -> None:
         self.fn = fn
         self.lsize = lsize
@@ -268,11 +271,20 @@ class TapeExecutor:
 
         self._consts: Dict[Constant, np.ndarray] = {}
         self.n_closures = 0
-        self._compile()
+        self._closures_ready = False
+        if not getattr(pilot, "steps_annotated", False):
+            self._annotate_steps()
+        if compile_closures:
+            self._compile_closures()
 
     # -- compilation -------------------------------------------------------
-    def _compile(self) -> None:
-        cache: Dict[Tuple[BasicBlock, bytes], List] = {}
+    def _annotate_steps(self) -> None:
+        """Static per-step facts: alive masks and instruction weights.
+
+        Cheap and closure-free — the codegen tier needs these to fold
+        instruction-count prefixes into generated source without paying
+        for closures it only compiles on a divergence handoff.
+        """
         alive = np.ones(self.n, dtype=bool)
         weight = {
             bb: sum(
@@ -285,12 +297,20 @@ class TapeExecutor:
             step.alive_before = alive
             alive = step.alive_after
             step.weight = weight[step.bb] * int(step.mask.sum())
+
+    def _compile_closures(self) -> None:
+        """Compile each unique (block, mask) into its closure list."""
+        if self._closures_ready:
+            return
+        self._closures_ready = True
+        cache: Dict[Tuple[BasicBlock, bytes], Tuple[List, Dict[int, int]]] = {}
+        for step in self.steps:
             key = (step.bb, step.mask.tobytes())
-            ops = cache.get(key)
-            if ops is None:
-                ops = cache[key] = self._compile_block(step.bb, step.mask)
-                self.n_closures += len(ops)
-            step.ops = ops
+            entry = cache.get(key)
+            if entry is None:
+                entry = cache[key] = self._compile_block(step.bb, step.mask)
+                self.n_closures += len(entry[0])
+            step.ops, step.op_pos = entry
             term = step.bb.instructions[-1]
             if isinstance(term, CondBr):
                 step.guard = (
@@ -314,15 +334,19 @@ class TapeExecutor:
         env = self.env
         return lambda: env[v]
 
-    def _compile_block(self, bb: BasicBlock, mask: np.ndarray) -> List:
+    def _compile_block(
+        self, bb: BasicBlock, mask: np.ndarray
+    ) -> Tuple[List, Dict[int, int]]:
         ops: List = []
+        op_pos: Dict[int, int] = {}
         for idx, inst in enumerate(bb.instructions):
             if inst.is_terminator:
                 break
+            op_pos[idx] = len(ops)
             op = self._compile_inst(inst, mask, bb, idx)
             if op is not None:
                 ops.append(op)
-        return ops
+        return ops, op_pos
 
     def _compile_inst(self, inst, mask: np.ndarray, bb: BasicBlock, idx: int):
         env = self.env
@@ -835,6 +859,10 @@ class TapeExecutor:
                 pos = p if p < len(live_ref) and live_ref[p] == slot else -1
             if pos < 0:
                 continue
+            # codegen element-domain records defer the byte conversion
+            # as a lazy ``(element indices, shift)`` pair
+            if type(offs) is tuple:
+                offs = offs[0] << offs[1]
             row = offs[pos]
             out.append(MemEvent(
                 space, is_store, sid,
@@ -852,39 +880,18 @@ class TapeExecutor:
         of :meth:`_split_events` times the batch size was the single
         hottest part of replay).
         """
-        traces: Dict[int, GroupTrace] = {}
-        for slot in self.live:
-            slot = int(slot)
+        slots = [int(s) for s in self.live]
+        per_slot = split_records(self.records, slots)
+        for slot in slots:
             gt = GroupTrace(self.slot_gids[slot], self.n)
             gt.inst_count = self.pilot_inst_count
             gt.barriers = self.pilot_barriers
-            traces[slot] = gt
-        for (space, is_store, sid, stride, offs, lanes, elem,
-             phase, inst_id, live_ref) in self.records:
-            rows = list(offs)
-            if stride:
-                for pos, slot in enumerate(live_ref.tolist()):
-                    gt = traces.get(slot)
-                    if gt is not None:
-                        gt.events.append(MemEvent(
-                            space, is_store, sid, rows[pos] - slot * stride,
-                            lanes, elem, phase, inst_id,
-                        ))
-            else:
-                for pos, slot in enumerate(live_ref.tolist()):
-                    gt = traces.get(slot)
-                    if gt is not None:
-                        gt.events.append(MemEvent(
-                            space, is_store, sid, rows[pos],
-                            lanes, elem, phase, inst_id,
-                        ))
-        self._done.update(traces)
+            gt.events = per_slot[slot]
+            self._done[slot] = gt
 
     # -- batched replay ----------------------------------------------------
-    def replay_batch(
-        self, slot_gids: List[Tuple[int, ...]]
-    ) -> Dict[int, Optional[GroupTrace]]:
-        """Run one batch of groups through the tape; returns slot -> trace."""
+    def _reset_batch(self, slot_gids: List[Tuple[int, ...]]) -> None:
+        """Reset all per-batch state and bind entry values for the batch."""
         G0 = len(slot_gids)
         self.slot_gids = slot_gids
         self._batch_size = G0
@@ -904,59 +911,79 @@ class TapeExecutor:
         self.bctx = _BatchedContext(slot_gids, self.lsize, self.gsize)
         n = self.n
 
-        try:
-            # argument bindings: group-uniform values stay (n,) exactly as
-            # the serial executor builds them; per-group local bases get
-            # the batch axis
-            for arg, v in self.arg_values.items():
-                if isinstance(v, Buffer):
-                    self.env[arg] = np.full(n, v.base_addr, dtype=np.int64)
-                else:
-                    self.env[arg] = np.full(n, v, dtype=_np_type(arg.type))
-            for owner, buf in list(self.local_buffers.items()) + list(
-                self.local_arg_buffers.items()
-            ):
-                nbytes = buf.nbytes
-                sbuf = self._new_scratch(G0 * nbytes)
-                self.scratch_map[sbuf.id] = (buf.id, nbytes)
-                bases = sbuf.base_addr + np.arange(G0, dtype=np.int64) * nbytes
-                self.env[owner] = np.broadcast_to(bases[:, None], (G0, n))
-
-            with np.errstate(all="ignore"):
-                for si, step in enumerate(self.steps):
-                    if not len(self.live):
-                        break
-                    self.step_idx = si
-                    self.inst_count += step.weight
-                    for op in step.ops:
-                        op()
-                    g = step.guard
-                    if g is not None and len(self.live):
-                        getter, expected, term_idx = g
-                        c = getter()
-                        if c.ndim == 1:
-                            cm = np.broadcast_to(
-                                c, (len(self.live), n)
-                            )[:, step.mask]
-                        else:
-                            cm = c[:, step.mask]
-                        bad = (cm != expected).any(axis=1)
-                        if bad.any():
-                            self._evict(
-                                bad, step.bb, term_idx, "branch divergence"
-                            )
-
-            if self.collect_trace:
-                self._split_surviving()
+        # argument bindings: group-uniform values stay (n,) exactly as
+        # the serial executor builds them; per-group local bases get
+        # the batch axis
+        for arg, v in self.arg_values.items():
+            if isinstance(v, Buffer):
+                self.env[arg] = np.full(n, v.base_addr, dtype=np.int64)
             else:
-                for slot in self.live:
-                    self._done[int(slot)] = None
-            return self._done
+                self.env[arg] = np.full(n, v, dtype=_np_type(arg.type))
+        for owner, buf in list(self.local_buffers.items()) + list(
+            self.local_arg_buffers.items()
+        ):
+            nbytes = buf.nbytes
+            sbuf = self._new_scratch(G0 * nbytes)
+            self.scratch_map[sbuf.id] = (buf.id, nbytes)
+            bases = sbuf.base_addr + np.arange(G0, dtype=np.int64) * nbytes
+            self.env[owner] = np.broadcast_to(bases[:, None], (G0, n))
+
+    def _apply_guard(self, step: _Step) -> None:
+        g = step.guard
+        if g is None or not len(self.live):
+            return
+        getter, expected, term_idx = g
+        c = getter()
+        if c.ndim == 1:
+            cm = np.broadcast_to(c, (len(self.live), self.n))[:, step.mask]
+        else:
+            cm = c[:, step.mask]
+        bad = (cm != expected).any(axis=1)
+        if bad.any():
+            self._evict(bad, step.bb, term_idx, "branch divergence")
+
+    def _run_steps(self, si0: int, op_start: int, count_first: bool) -> None:
+        """Run the tape from step ``si0``, entering its op list at
+        ``op_start`` (the codegen divert path re-enters mid-step; the
+        diverged group's ``inst_count`` already includes that step when
+        ``count_first`` is False)."""
+        with np.errstate(all="ignore"):
+            for si in range(si0, len(self.steps)):
+                step = self.steps[si]
+                if not len(self.live):
+                    break
+                self.step_idx = si
+                if count_first or si > si0:
+                    self.inst_count += step.weight
+                ops = step.ops
+                for oi in range(op_start if si == si0 else 0, len(ops)):
+                    ops[oi]()
+                self._apply_guard(step)
+
+    def _finish_batch(self) -> Dict[int, Optional[GroupTrace]]:
+        if self.collect_trace:
+            self._split_surviving()
+        else:
+            for slot in self.live:
+                self._done[int(slot)] = None
+        return self._done
+
+    def _cleanup_batch(self) -> None:
+        for buf in self._scratch:
+            self.memory.buffers.pop(buf.id, None)
+        self._scratch = []
+        self._private_slabs = []
+
+    def replay_batch(
+        self, slot_gids: List[Tuple[int, ...]]
+    ) -> Dict[int, Optional[GroupTrace]]:
+        """Run one batch of groups through the tape; returns slot -> trace."""
+        self._reset_batch(slot_gids)
+        try:
+            self._run_steps(0, 0, True)
+            return self._finish_batch()
         finally:
-            for buf in self._scratch:
-                self.memory.buffers.pop(buf.id, None)
-            self._scratch = []
-            self._private_slabs = []
+            self._cleanup_batch()
 
 
 def execute_tape(
@@ -972,6 +999,7 @@ def execute_tape(
     private_arena: List[Buffer],
     collect_trace: bool,
     tape_batch: int,
+    store: Optional[TraceSpillStore] = None,
 ) -> Tuple[List[GroupTrace], int]:
     """Execute ``picks`` with the tape backend; the drop-in replacement
     for the serial group loop of :func:`repro.runtime.ndrange.launch`.
@@ -1003,6 +1031,8 @@ def execute_tape(
     )
     pilot.run()
     work_items = ctx0.n_lanes
+    if store is not None and collect_trace:
+        store.adopt(pilot_gt)
     traces: Dict[int, Optional[GroupTrace]] = {
         0: pilot_gt if collect_trace else None
     }
@@ -1026,6 +1056,8 @@ def execute_tape(
             chunk = rest[lo:lo + tape_batch]
             n_batches += 1
             out = tape.replay_batch([gids[i] for i in chunk])
+            if store is not None and collect_trace:
+                store.adopt_group_lists(out)
             for slot, gt in out.items():
                 traces[chunk[slot]] = gt
             work_items += ctx0.n_lanes * len(chunk)

@@ -176,10 +176,11 @@ _VARS = (
         env="REPRO_EXEC_BACKEND",
         type="str",
         default="tape",
-        choices=("tape", "reference"),
+        choices=("tape", "reference", "codegen"),
         doc="Interpreter execution backend: 'tape' (pilot-group schedule "
-        "compiled once, replayed group-batched) or 'reference' (the "
-        "per-group SIMT scheduler). Results are bit-identical.",
+        "compiled once, replayed group-batched), 'codegen' (the tape "
+        "emitted as one generated fused-numpy module) or 'reference' "
+        "(the per-group SIMT scheduler). Results are bit-identical.",
     ),
     ConfigVar(
         name="tape_batch",
@@ -190,6 +191,25 @@ _VARS = (
         doc="Work-groups stacked per batched tape replay (the leading "
         "axis size of the batched value arrays).",
     ),
+    ConfigVar(
+        name="trace_spill_mb",
+        env="REPRO_TRACE_SPILL_MB",
+        type="int",
+        default=4096,
+        minimum=1,
+        doc="High-water mark (MiB) for resident traced memory events; "
+        "past it, completed batches spill to compressed on-disk "
+        "segments and stream back transparently on access.",
+    ),
+    ConfigVar(
+        name="codegen_cache_dir",
+        env="REPRO_CODEGEN_CACHE_DIR",
+        type="str",
+        default=None,
+        doc="Directory for on-disk codegen artifacts (generated replay "
+        "modules, content-hash validated); unset disables the disk "
+        "tier, the in-process cache always applies.",
+    ),
 )
 
 #: by registry name ("workers")
@@ -198,8 +218,16 @@ REGISTRY: Dict[str, ConfigVar] = {v.name: v for v in _VARS}
 ENV_REGISTRY: Dict[str, ConfigVar] = {v.env: v for v in _VARS}
 
 
+#: variables whose *values* are parsed eagerly at Session construction
+#: (the REPRO_WORKERS fix made bad worker counts fail at lookup with a
+#: ConfigError naming the variable; these two fail even earlier, before
+#: a long launch gets to the point of reading them)
+_EAGER_VALUE_VARS = ("REPRO_TAPE_BATCH", "REPRO_TRACE_SPILL_MB")
+
+
 def validate_environ(environ: Mapping[str, str]) -> None:
-    """Reject unknown ``REPRO_*`` variables (the config-drift guard)."""
+    """Reject unknown ``REPRO_*`` variables (the config-drift guard) and
+    unparseable values of the eagerly-checked integer variables."""
     unknown = sorted(
         k for k in environ if k.startswith("REPRO_") and k not in ENV_REGISTRY
     )
@@ -208,6 +236,10 @@ def validate_environ(environ: Mapping[str, str]) -> None:
             f"unknown REPRO_* environment variable(s) {unknown}; "
             f"known: {sorted(ENV_REGISTRY)}"
         )
+    for env_name in _EAGER_VALUE_VARS:
+        raw = environ.get(env_name)
+        if raw is not None:
+            ENV_REGISTRY[env_name].parse_env(raw)
 
 
 def coerce_value(name: str, value: object, source: str) -> object:

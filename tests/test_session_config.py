@@ -39,6 +39,8 @@ def test_registry_covers_every_historical_env_var():
         "REPRO_TRACE_OUT",
         "REPRO_EXEC_BACKEND",
         "REPRO_TAPE_BATCH",
+        "REPRO_TRACE_SPILL_MB",
+        "REPRO_CODEGEN_CACHE_DIR",
     }
     # name <-> env spelling is a bijection
     assert len(REGISTRY) == len(ENV_REGISTRY)
@@ -242,6 +244,33 @@ def test_workers_env_rejection_is_config_error_naming_variable(raw):
 
 def test_workers_env_boundary_one_is_accepted():
     assert Session(env={"REPRO_WORKERS": "1"}).get("workers") == 1
+
+
+@pytest.mark.parametrize("env_name", ["REPRO_TAPE_BATCH", "REPRO_TRACE_SPILL_MB"])
+@pytest.mark.parametrize("raw", ["0", "-2", "1.5", "many", ""])
+def test_batch_and_spill_env_rejected_at_construction(env_name, raw):
+    """The eagerly-checked ints fail at Session() itself, not at lookup —
+    a bad ``REPRO_TAPE_BATCH`` must not survive until a launch reads it."""
+    with pytest.raises(ConfigError, match=env_name):
+        Session(env={env_name: raw})
+
+
+@pytest.mark.parametrize("env_name,name,value", [
+    ("REPRO_TAPE_BATCH", "tape_batch", 64),
+    ("REPRO_TRACE_SPILL_MB", "trace_spill_mb", 1),
+])
+def test_batch_and_spill_env_accepted_values(env_name, name, value):
+    assert Session(env={env_name: str(value)}).get(name) == value
+
+
+def test_codegen_backend_and_cache_dir_are_registered():
+    s = Session(env={
+        "REPRO_EXEC_BACKEND": "codegen",
+        "REPRO_CODEGEN_CACHE_DIR": "/tmp/cg",
+    })
+    assert s.get("exec_backend") == "codegen"
+    assert s.get("codegen_cache_dir") == "/tmp/cg"
+    assert Session(env={}).get("codegen_cache_dir") is None
 
 
 def test_analyze_var_defaults_off_and_parses_bool_words():
