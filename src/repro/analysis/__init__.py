@@ -23,10 +23,12 @@ from repro.analysis.driver import (
 )
 from repro.analysis.dynamic import apply_replay, replay_trace
 from repro.analysis.model import (
+    DEFERRAL_CATEGORIES,
     LEGALITY_KINDS,
     RACE_KINDS,
     AnalysisReport,
     AnalysisUndecidedWarning,
+    Deferral,
     Finding,
     RaceDetected,
 )
@@ -35,10 +37,12 @@ from repro.analysis.races import analyze_races_static, check_staging, collect_ac
 __all__ = [
     "AnalysisReport",
     "Finding",
+    "Deferral",
     "RaceDetected",
     "AnalysisUndecidedWarning",
     "RACE_KINDS",
     "LEGALITY_KINDS",
+    "DEFERRAL_CATEGORIES",
     "analyze_kernel",
     "analyze_app",
     "analyze_source",

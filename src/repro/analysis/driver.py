@@ -71,6 +71,18 @@ def analyze_kernel(
             decided_by=f.decided_by,
             detail=f.detail,
         )
+    for d in list(report.deferrals) + list(report.deferrals_resolved):
+        events.emit(
+            "analysis_deferral",
+            kernel=fn.name,
+            category=d.category,
+            space=d.space,
+            object=d.obj,
+            a_inst=d.a_inst,
+            b_inst=-1 if d.b_inst is None else d.b_inst,
+            resolved=d in report.deferrals_resolved,
+            why=d.why,
+        )
     events.emit(
         "analysis_end",
         kernel=label or fn.name,

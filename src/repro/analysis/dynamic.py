@@ -253,3 +253,7 @@ def apply_replay(report: AnalysisReport, trace: KernelTrace, kernel: Function) -
         report.pairs_dynamic += report.pairs_undecided
         report.pairs_undecided = 0
         report.undecided = []
+        # the pairs are decided now, but the static-time reasons stay
+        # reachable (report.deferrals_on consults both lists)
+        report.deferrals_resolved.extend(report.deferrals)
+        report.deferrals = []

@@ -18,7 +18,9 @@ from repro.core.grover import GroverError
 __all__ = [
     "RACE_KINDS",
     "LEGALITY_KINDS",
+    "DEFERRAL_CATEGORIES",
     "Finding",
+    "Deferral",
     "AnalysisReport",
     "RaceDetected",
 ]
@@ -28,6 +30,14 @@ RACE_KINDS = ("race-ww", "race-rw", "barrier-divergence")
 #: finding kinds that break Grover's reversibility contract without
 #: necessarily being races
 LEGALITY_KINDS = ("uninit-read", "non-global-staging")
+#: why the static pair analysis can decline to decide an access pair
+DEFERRAL_CATEGORIES = (
+    "non-affine",           # opaque / product-with-id index terms
+    "group-uniform-delta",  # offset delta depends on a group-uniform value
+    "no-geometry",          # no work-group size to enumerate
+    "box-limit",            # index box larger than the enumeration cap
+    "guarded",              # access under a thread-id-dependent guard
+)
 
 
 class RaceDetected(GroverError):
@@ -71,6 +81,41 @@ class Finding:
         return f"{self.kind} on {self.space} {self.obj!r} ({self.decided_by}){where}: {self.detail}"
 
 
+@dataclass(frozen=True)
+class Deferral:
+    """One access pair the static analysis declined to decide, with a
+    machine-readable reason.
+
+    Historically an undecided pair only bumped ``pairs_undecided`` — a
+    bare skip a caller could not attribute to anything.  The fuzzer
+    oracle (and the CLI report) need to distinguish "deferred because
+    the index is non-affine" from "clean": every deferral now carries
+    the kernel, the instruction pair, the object, and a ``category``
+    from :data:`DEFERRAL_CATEGORIES` plus the human-readable ``why``.
+    """
+
+    kernel: str
+    category: str        # one of DEFERRAL_CATEGORIES
+    why: str
+    obj: str             # array / buffer the pair touches
+    space: str           # 'local' | 'global'
+    a_inst: int
+    b_inst: Optional[int] = None
+
+    def key(self) -> tuple:
+        pair = tuple(sorted(i for i in (self.a_inst, self.b_inst) if i is not None))
+        return (self.category, self.obj, pair)
+
+    def render(self) -> str:
+        pair = f"%{self.a_inst}" + (
+            f"/%{self.b_inst}" if self.b_inst is not None else ""
+        )
+        return (
+            f"deferred [{self.category}] {self.space} {self.obj!r} "
+            f"({pair}): {self.why}"
+        )
+
+
 @dataclass
 class AnalysisReport:
     """Everything the analyzer concluded about one kernel."""
@@ -91,6 +136,12 @@ class AnalysisReport:
     #: statically undecided (Access, Access, reason) triples, kept for the
     #: dynamic replay to resolve (not part of the rendered report)
     undecided: list = field(default_factory=list, repr=False)
+    #: structured reasons for the still-undecided pairs (one per pair);
+    #: emptied by a full-trace replay, which moves them to
+    #: ``deferrals_resolved`` (the pairs were decided dynamically, but
+    #: callers like the fuzzer oracle still need the static-time reason)
+    deferrals: List["Deferral"] = field(default_factory=list)
+    deferrals_resolved: List["Deferral"] = field(default_factory=list)
 
     def add(self, finding: Finding) -> bool:
         """Record ``finding`` unless an equivalent one exists."""
@@ -99,6 +150,29 @@ class AnalysisReport:
             return False
         self.findings.append(finding)
         return True
+
+    def add_deferral(self, deferral: "Deferral") -> bool:
+        """Record ``deferral`` unless an equivalent one exists."""
+        seen = {d.key() for d in self.deferrals}
+        if deferral.key() in seen:
+            return False
+        self.deferrals.append(deferral)
+        return True
+
+    def deferrals_on(self, obj: str) -> List["Deferral"]:
+        """Every deferral (live or replay-resolved) touching ``obj``."""
+        return [
+            d
+            for d in list(self.deferrals) + list(self.deferrals_resolved)
+            if d.obj == obj
+        ]
+
+    @property
+    def deferral_categories(self) -> List[str]:
+        """Sorted unique categories across live + resolved deferrals."""
+        return sorted(
+            {d.category for d in list(self.deferrals) + list(self.deferrals_resolved)}
+        )
 
     # -- summaries ---------------------------------------------------------
     def of_kind(self, *kinds: str) -> List[Finding]:
@@ -148,4 +222,6 @@ class AnalysisReport:
         ]
         for f in self.findings:
             lines.append(f"  - {f.render()}")
+        for d in self.deferrals:
+            lines.append(f"  - {d.render()}")
         return "\n".join(lines)

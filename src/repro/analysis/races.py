@@ -56,7 +56,7 @@ from repro.ir.instructions import (
 from repro.ir.types import AddressSpace
 from repro.ir.values import Value
 
-from repro.analysis.model import AnalysisReport, Finding
+from repro.analysis.model import AnalysisReport, Deferral, Finding
 
 __all__ = [
     "Access",
@@ -288,6 +288,8 @@ def _split(expr: LinExpr) -> Tuple[Dict[int, Fraction], Dict[Symbol, Fraction], 
 class PairDecision:
     status: str  # 'safe' | 'race' | 'undecided'
     reason: str
+    #: for 'undecided': one of DEFERRAL_CATEGORIES (see analysis.model)
+    category: str = ""
 
 
 def _lane_offsets(thread: Dict[int, Fraction], scale: int, local_size: Sequence[int]) -> np.ndarray:
@@ -308,9 +310,19 @@ def decide_pair(a: Access, b: Access, local_size: Optional[Sequence[int]]) -> Pa
     tb, sb, cb, ub = _split(off_b)
     if ua or ub:
         syms = ", ".join(sorted({render_symbol(s) for s in ua + ub}))
-        return PairDecision("undecided", f"non-affine index terms ({syms})")
+        # a gid term is affine; it only stays unknown because no geometry
+        # was given to expand it — report that as such, not as non-affine
+        if local_size is None and all(s[0] == "gid" for s in ua + ub):
+            return PairDecision(
+                "undecided",
+                f"no work-group geometry to expand ({syms})",
+                "no-geometry",
+            )
+        return PairDecision(
+            "undecided", f"non-affine index terms ({syms})", "non-affine"
+        )
     if local_size is None:
-        return PairDecision("undecided", "no work-group geometry")
+        return PairDecision("undecided", "no work-group geometry", "no-geometry")
 
     # group-uniform parts must cancel for a decidable constant delta
     delta: Dict[Symbol, Fraction] = dict(sa)
@@ -320,12 +332,16 @@ def decide_pair(a: Access, b: Access, local_size: Optional[Sequence[int]]) -> Pa
     if leftover:
         syms = ", ".join(sorted(render_symbol(s) for s in leftover))
         return PairDecision(
-            "undecided", f"offset delta depends on group-uniform value(s) {syms}"
+            "undecided",
+            f"offset delta depends on group-uniform value(s) {syms}",
+            "group-uniform-delta",
         )
 
     n = prod(int(s) for s in local_size)
     if n > BOX_LIMIT:
-        return PairDecision("undecided", f"work-group box {n} exceeds {BOX_LIMIT}")
+        return PairDecision(
+            "undecided", f"work-group box {n} exceeds {BOX_LIMIT}", "box-limit"
+        )
 
     # exact enumeration of the index box, scaled to clear denominators
     dens = [c.denominator for c in ta.values()] + [c.denominator for c in tb.values()]
@@ -400,6 +416,7 @@ def analyze_races_static(
                         "undecided",
                         "access under a thread-id-dependent guard "
                         "(lane subset unknown statically)",
+                        "guarded",
                     )
                 else:
                     decision = decide_pair(a, b, local_size)
@@ -422,6 +439,15 @@ def analyze_races_static(
                 else:
                     report.pairs_undecided += 1
                     report.undecided.append((a, b, decision.reason))
+                    report.add_deferral(Deferral(
+                        kernel=fn.name,
+                        category=decision.category or "non-affine",
+                        why=decision.reason,
+                        obj=a.obj_name,
+                        space=_SPACE_NAMES[a.space],
+                        a_inst=a.inst.id,
+                        b_inst=b.inst.id,
+                    ))
     return report
 
 

@@ -22,6 +22,10 @@ Subcommands:
   barrier-divergence analyzer over registered apps and/or ``.cl``
   files, with ``--golden`` verdict pinning for CI
   (see :mod:`repro.analysis`).
+* ``python -m repro.cli fuzz [...]`` — the generative differential
+  fuzzer: seeded random kernels judged by all three execution backends,
+  the race analyzer and the Grover pass at once, with delta-minimized
+  reproducers and corpus promotion (see :mod:`repro.fuzz`).
 
 Every subcommand (and the default kernel command) accepts ``--config
 FILE`` (a JSON session config, see :mod:`repro.session.config`) and
@@ -187,6 +191,10 @@ def main(argv=None) -> int:
         from repro.analysis.cli import main as analyze_main
 
         return analyze_main(list(argv[1:]))
+    if argv and argv[0] == "fuzz":
+        from repro.fuzz.runner import main as fuzz_main
+
+        return fuzz_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     source = Path(args.file).read_text()
     defines = {}

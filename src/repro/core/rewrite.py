@@ -197,6 +197,35 @@ def required_lids(tree: ExprNode) -> set:
     return req
 
 
+def _check_clone_operands(
+    tree: ExprNode,
+    subst: Dict[ExprNode, Value],
+    doms,
+    anchor: Instruction,
+) -> None:
+    """Cloning an index instruction at the ``LL`` is only legal when its
+    *operands* are available there too.  A leaf whose SSA value does not
+    dominate the anchor gets cloned — but when the value it loads from
+    (e.g. the alloca of a loop counter declared *after* the local load)
+    does not dominate the anchor either, the clone would be invalid IR,
+    so the candidate must be rejected instead (the GL index simply is
+    not computable at this load site)."""
+    for node in tree.walk():
+        if not node.state or node in subst or not node.is_leaf:
+            continue
+        v = node.value
+        if not isinstance(v, Instruction):
+            continue
+        for op in v.operands:
+            if isinstance(op, Instruction) and not inst_dominates(
+                doms, op, anchor
+            ):
+                raise RewriteError(
+                    f"index term {v!r} cannot be re-created at the local "
+                    f"load: its operand {op!r} is not available there"
+                )
+
+
 def rewrite_local_load(
     fn: Function,
     cand: Candidate,
@@ -217,6 +246,7 @@ def rewrite_local_load(
     tree = build_tree(cand.gl.ptr)
     subst = build_substitutions(tree, sol, mat)
     mark_tree(tree, subst, anchor=ll, doms=doms, force_all=not reuse_subexprs)
+    _check_clone_operands(tree, subst, doms, ll)
     new_ptr = duplicate_instructions(tree, builder, subst)
     if not isinstance(new_ptr, Value):  # pragma: no cover
         raise RewriteError("duplication produced no pointer")

@@ -1,0 +1,66 @@
+"""Generative differential fuzzing of the Grover reproduction stack.
+
+The repo has four independent arbiters of what a kernel means: the
+reference SIMT interpreter, the compiled-tape backend, the generated
+fused-numpy backend, and the Eq. 3 transformability verdict of the
+Grover pass vetted by the static race analyzer.  This package generates
+seeded random OpenCL kernels spanning the decidability spectrum of all
+four (:mod:`repro.fuzz.generate`), judges every kernel with all of them
+at once (:mod:`repro.fuzz.oracle`), delta-minimizes any disagreement
+(:mod:`repro.fuzz.shrink`), and promotes survivors with novel verdict
+shapes into the committed regression corpus (:mod:`repro.fuzz.corpus`).
+``repro fuzz`` on the command line drives a campaign; see DESIGN.md §14.
+"""
+
+from repro.fuzz.corpus import (
+    expectation_mismatches,
+    load_manifest,
+    promote,
+    replay_entry,
+    shape_of,
+)
+from repro.fuzz.generate import (
+    BarrierStmt,
+    Block,
+    FuzzCase,
+    Raw,
+    Stmt,
+    derive_case_seed,
+    generate_case,
+    generate_cases,
+)
+from repro.fuzz.oracle import BACKENDS, Mismatch, OracleOutcome, run_case, run_source
+from repro.fuzz.runner import (
+    CaseResult,
+    FuzzOptions,
+    FuzzRunResult,
+    run_fuzz,
+)
+from repro.fuzz.shrink import count_statements, shrink_case
+
+__all__ = [
+    "BACKENDS",
+    "BarrierStmt",
+    "Block",
+    "CaseResult",
+    "FuzzCase",
+    "FuzzOptions",
+    "FuzzRunResult",
+    "Mismatch",
+    "OracleOutcome",
+    "Raw",
+    "Stmt",
+    "count_statements",
+    "derive_case_seed",
+    "expectation_mismatches",
+    "generate_case",
+    "generate_cases",
+    "load_manifest",
+    "promote",
+    "replay_entry",
+    "run_case",
+    "run_fuzz",
+    "run_source",
+    "shape_of",
+    "shrink_case",
+]

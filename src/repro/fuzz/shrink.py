@@ -1,0 +1,150 @@
+"""Deterministic delta-minimization of failing fuzz kernels.
+
+``shrink_case`` takes a :class:`~repro.fuzz.generate.FuzzCase` and an
+*interestingness* predicate (typically "the oracle still reports the
+same mismatch class") and greedily minimizes the statement AST:
+
+1. **remove** — delete one statement at a time (any nesting depth),
+   keeping the deletion whenever the predicate still holds;
+2. **unwrap** — replace an ``if``/``for`` block by its body;
+3. **prune locals** — drop ``__local`` array declarations the shrunken
+   body no longer references.
+
+Each pass runs to a fixpoint, and the pass cycle repeats until a whole
+cycle changes nothing.  All passes visit candidates in a fixed
+deterministic order and use no randomness, so minimization is both
+reproducible and idempotent: ``shrink(shrink(x)) == shrink(x)``
+(asserted by ``tests/test_fuzz_shrink.py``).  A candidate whose
+predicate raises (e.g. the reduced kernel no longer compiles) counts as
+uninteresting — the shrinker never has to special-case broken
+reductions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterator, List, Tuple
+
+from repro.fuzz.generate import BarrierStmt, Block, FuzzCase, Raw, Stmt
+
+__all__ = ["shrink_case", "count_statements"]
+
+Path = Tuple[int, ...]
+
+
+def _copy(stmts: List[Stmt]) -> List[Stmt]:
+    out: List[Stmt] = []
+    for s in stmts:
+        if isinstance(s, Block):
+            out.append(Block(s.header, _copy(s.body)))
+        elif isinstance(s, Raw):
+            out.append(Raw(s.text))
+        else:
+            out.append(BarrierStmt())
+    return out
+
+
+def _paths(stmts: List[Stmt], prefix: Path = ()) -> Iterator[Path]:
+    for i, s in enumerate(stmts):
+        yield prefix + (i,)
+        if isinstance(s, Block):
+            yield from _paths(s.body, prefix + (i,))
+
+
+def _container(stmts: List[Stmt], path: Path) -> List[Stmt]:
+    for i in path[:-1]:
+        stmt = stmts[i]
+        assert isinstance(stmt, Block)
+        stmts = stmt.body
+    return stmts
+
+
+def _remove_at(body: List[Stmt], path: Path) -> List[Stmt]:
+    new = _copy(body)
+    del _container(new, path)[path[-1]]
+    return new
+
+
+def _unwrap_at(body: List[Stmt], path: Path) -> List[Stmt]:
+    new = _copy(body)
+    parent = _container(new, path)
+    block = parent[path[-1]]
+    assert isinstance(block, Block)
+    parent[path[-1] : path[-1] + 1] = block.body
+    return new
+
+
+def count_statements(stmts: List[Stmt]) -> int:
+    """Raw/barrier statements plus block headers, at every depth."""
+    return sum(1 for _ in _paths(stmts))
+
+
+def _try(case: FuzzCase, interesting: Callable[[FuzzCase], bool]) -> bool:
+    try:
+        return bool(interesting(case))
+    except Exception:
+        return False
+
+
+def shrink_case(
+    case: FuzzCase, interesting: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    """Minimize ``case`` while ``interesting`` keeps holding.
+
+    The input case itself must satisfy the predicate; if it does not,
+    it is returned unchanged (nothing to preserve while shrinking).
+    """
+    if not _try(case, interesting):
+        return case
+    current = case.replace_body(_copy(case.body))
+    changed_cycle = True
+    while changed_cycle:
+        changed_cycle = False
+
+        # pass 1: statement removal, innermost-last order, to fixpoint
+        removed = True
+        while removed:
+            removed = False
+            for path in list(_paths(current.body)):
+                cand = current.replace_body(_remove_at(current.body, path))
+                if _try(cand, interesting):
+                    current = cand
+                    removed = changed_cycle = True
+                    break  # paths shifted; rescan from the top
+
+        # pass 2: unwrap guard/loop blocks whose header is not needed
+        unwrapped = True
+        while unwrapped:
+            unwrapped = False
+            for path in list(_paths(current.body)):
+                stmt = _container(current.body, path)[path[-1]]
+                if not isinstance(stmt, Block):
+                    continue
+                cand = current.replace_body(_unwrap_at(current.body, path))
+                if _try(cand, interesting):
+                    current = cand
+                    unwrapped = changed_cycle = True
+                    break
+
+        # pass 3: drop __local declarations the body no longer mentions
+        body_text = "\n".join(r.text for r in _flatten_raw(current.body))
+        keep = [
+            (name, elems)
+            for name, elems in current.locals_
+            if re.search(rf"\b{re.escape(name)}\b", body_text)
+        ]
+        if len(keep) != len(current.locals_):
+            cand = current.replace_body(_copy(current.body), locals_=keep)
+            if _try(cand, interesting):
+                current = cand
+                changed_cycle = True
+    return current
+
+
+def _flatten_raw(stmts: List[Stmt]) -> Iterator[Raw]:
+    for s in stmts:
+        if isinstance(s, Raw):
+            yield s
+        elif isinstance(s, Block):
+            yield Raw(s.header)
+            yield from _flatten_raw(s.body)

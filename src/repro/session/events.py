@@ -181,6 +181,58 @@ EVENT_SCHEMA: Dict[str, Dict[str, Tuple[type, ...]]] = {
         "pairs_undecided": (int,),
         "wall_ms": (int, float),
     },
+    "analysis_deferral": {
+        "kernel": (str,),
+        # one of repro.analysis.DEFERRAL_CATEGORIES
+        "category": (str,),
+        "space": (str,),
+        "object": (str,),
+        "a_inst": (int,),
+        # -1 for single-site deferrals
+        "b_inst": (int,),
+        # True when a full-trace replay later decided the pair
+        "resolved": (bool,),
+        "why": (str,),
+    },
+    # -- generative kernel fuzzer -------------------------------------------
+    "fuzz_case": {
+        "index": (int,),
+        "case_seed": (int,),
+        "kernel": (str,),
+        # 'agree' | 'mismatch' | 'skip:<reason>'
+        "outcome": (str,),
+        # execution outcome: 'ok' | 'error:<ExcType>'
+        "exec": (str,),
+        # analyzer verdict ('clean'/'race'/...), '+deferred' suffixed
+        "analyzer": (str,),
+        # Grover summary, e.g. 't1r2' / 'veto' / 'no-local'
+        "grover": (str,),
+        "features": (list,),
+        "wall_ms": (int, float),
+    },
+    "fuzz_mismatch": {
+        "index": (int,),
+        "case_seed": (int,),
+        # which cross-check disagreed ('exec-diff', 'veto-miss', ...)
+        "check": (str,),
+        "detail": (str,),
+        # path of the minimized reproducer ("" when --minimize is off)
+        "minimized": (str,),
+    },
+    "fuzz_promote": {
+        "index": (int,),
+        "case_seed": (int,),
+        "path": (str,),
+        # the verdict shape that made the case corpus-worthy
+        "shape": (str,),
+    },
+    "fuzz_end": {
+        "cases": (int,),
+        "mismatches": (int,),
+        "promoted": (int,),
+        "workers": (int,),
+        "wall_ms": (int, float),
+    },
     # -- experiment matrix --------------------------------------------------
     "matrix_start": {"apps": (list,), "devices": (list,), "workers": (int,)},
     "matrix_case_retried": {"app": (str,), "reason": (str,)},
@@ -221,7 +273,11 @@ def validate_event(kind: str, payload: Mapping[str, object]) -> None:
         raise EventSchemaError(f"{kind}: unexpected payload fields {sorted(extra)}")
     for name, types in schema.items():
         value = payload[name]
-        if not isinstance(value, types) or isinstance(value, bool):
+        # bools satisfy isinstance(..., int); only accept one where the
+        # schema explicitly declares bool
+        if not isinstance(value, types) or (
+            isinstance(value, bool) and bool not in types
+        ):
             raise EventSchemaError(
                 f"{kind}.{name}: expected {'/'.join(t.__name__ for t in types)}, "
                 f"got {type(value).__name__} ({value!r})"

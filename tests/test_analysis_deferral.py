@@ -1,0 +1,141 @@
+"""Structured deferral reporting of the static race analyzer.
+
+Historically a statically-undecidable access pair only bumped
+``pairs_undecided`` — a bare skip.  The fuzzer oracle needs to tell
+"deferred because the index is non-affine" apart from "clean", so every
+deferral now surfaces as a structured :class:`repro.analysis.Deferral`
+(kernel, instruction pair, object, category, reason), is rendered in the
+report, and is emitted as a schema-validated ``analysis_deferral`` event.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import DEFERRAL_CATEGORIES, analyze_kernel, analyze_source
+from repro.analysis.races import analyze_races_static
+from repro.frontend import compile_kernel
+from repro.runtime import Memory, launch
+from repro.session import events
+
+NON_AFFINE = r"""
+__kernel void na(__global float* out, __global const float* in)
+{
+    __local float lm[64];
+    int li = get_local_id(0);
+    lm[(li * li) % 64] = in[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = lm[li];
+}
+"""
+
+GUARDED = r"""
+__kernel void gd(__global float* out, __global const float* in)
+{
+    __local float lm[64];
+    int li = get_local_id(0);
+    lm[li] = in[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (li < 32)
+        lm[li] = lm[li] + 1.0f;
+    out[get_global_id(0)] = lm[li];
+}
+"""
+
+AFFINE_CLEAN = r"""
+__kernel void ok(__global float* out, __global const float* in)
+{
+    __local float lm[64];
+    int li = get_local_id(0);
+    lm[li] = in[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = lm[63 - li];
+}
+"""
+
+
+def test_non_affine_pair_surfaces_structured_deferral():
+    kernel = compile_kernel(NON_AFFINE)
+    report = analyze_kernel(kernel, (64,))
+    assert report.verdict == "undecided"
+    assert report.pairs_undecided > 0
+    assert len(report.deferrals) == report.pairs_undecided
+    d = report.deferrals[0]
+    assert d.kernel == "na"
+    assert d.category == "non-affine"
+    assert d.obj == "lm"
+    assert d.space == "local"
+    assert d.a_inst >= 0 and d.b_inst is not None
+    assert "non-affine" in d.why
+    # the category set is drawn from the declared vocabulary
+    for d in report.deferrals:
+        assert d.category in DEFERRAL_CATEGORIES
+    # rendered, not silently dropped
+    assert "deferred [non-affine]" in str(report)
+
+
+def test_guarded_access_defers_with_guarded_category():
+    kernel = compile_kernel(GUARDED)
+    report = analyze_kernel(kernel, (64,))
+    cats = {d.category for d in report.deferrals}
+    assert "guarded" in cats
+    assert report.deferrals_on("lm")
+
+
+def test_no_geometry_defers_with_category():
+    kernel = compile_kernel(NON_AFFINE)
+    report = analyze_races_static(kernel, None)
+    cats = {d.category for d in report.deferrals}
+    # the non-affine term dominates; a second all-affine kernel exercises
+    # the no-geometry category
+    assert cats <= set(DEFERRAL_CATEGORIES)
+    clean = compile_kernel(AFFINE_CLEAN)
+    report2 = analyze_races_static(clean, None)
+    assert {d.category for d in report2.deferrals} == {"no-geometry"}
+
+
+def test_clean_kernel_has_no_deferrals():
+    kernel = compile_kernel(AFFINE_CLEAN)
+    report = analyze_kernel(kernel, (64,))
+    assert report.verdict == "clean"
+    assert report.deferrals == [] and report.deferrals_resolved == []
+
+
+def test_full_replay_moves_deferrals_to_resolved():
+    kernel = compile_kernel(NON_AFFINE)
+    mem = Memory()
+    buf_in = mem.from_array(
+        np.arange(128, dtype=np.float32), "in"
+    )
+    buf_out = mem.alloc(128 * 4, "out")
+    res = launch(
+        kernel, (128,), (64,), {"in": buf_in, "out": buf_out},
+        memory=mem, collect_trace=True,
+    )
+    report = analyze_kernel(kernel, (64,), res.trace)
+    assert report.replayed
+    assert report.pairs_undecided == 0
+    assert report.deferrals == []
+    assert report.deferrals_resolved  # static-time reasons kept
+    assert report.deferrals_on("lm")
+    assert "non-affine" in report.deferral_categories
+
+
+def test_analysis_deferral_events_validate():
+    kernel = compile_kernel(NON_AFFINE)
+    with events.collect() as sink:
+        analyze_kernel(kernel, (64,))
+    deferral_events = sink.of_kind("analysis_deferral")
+    assert deferral_events
+    for e in deferral_events:
+        events.validate_event(e.kind, e.payload)
+        assert e.payload["category"] in DEFERRAL_CATEGORIES
+        assert e.payload["kernel"] == "na"
+        assert e.payload["resolved"] is False
+
+
+def test_analyze_source_deferrals_roundtrip():
+    report = analyze_source(
+        NON_AFFINE, global_size=(128,), local_size=(64,), execute=False
+    )
+    assert report.deferrals and report.verdict == "undecided"

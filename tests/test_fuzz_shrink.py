@@ -1,0 +1,124 @@
+"""The delta-minimizer: deterministic, idempotent, and small results.
+
+A reproducer is only useful when it is minimal — the shrinker must take
+a ~20-statement generated kernel down to the few statements that carry
+the failure, never loop forever, and give the same answer every time.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz import (
+    Block,
+    FuzzCase,
+    Raw,
+    count_statements,
+    generate_case,
+    run_case,
+    shrink_case,
+)
+from repro.fuzz.generate import BarrierStmt
+
+
+def _case(body, locals_=(("lm0", 64),)):
+    return FuzzCase(
+        index=0,
+        case_seed=0x1234,
+        kernel_name="fz",
+        global_size=(32,),
+        local_size=(16,),
+        in_elems=256,
+        p_value=2,
+        locals_=list(locals_),
+        body=body,
+        features=(),
+    )
+
+
+def _filler(n):
+    return [Raw(f"acc = (acc + in[gi]) * 1.0f;") for _ in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# synthetic predicate: pure shrinker mechanics
+# ---------------------------------------------------------------------------
+
+
+def test_synthetic_marker_minimizes_to_budget():
+    body = (
+        _filler(5)
+        + [Block("if (li < 4)", [Raw("acc = (acc + 1.0f); /*MAGIC*/")])]
+        + [BarrierStmt()]
+        + _filler(5)
+        + [Block("for (int k0 = 0; k0 < 3; ++k0)", _filler(2))]
+    )
+    case = _case(body)
+    assert count_statements(case.body) == 16
+
+    def interesting(c):
+        return "MAGIC" in c.source()
+
+    small = shrink_case(case, interesting)
+    # only the marker statement survives: the guard is unwrapped, every
+    # filler statement, the barrier and the loop are deleted
+    assert count_statements(small.body) == 1
+    assert "MAGIC" in small.source()
+    # unreferenced __local declarations are pruned too
+    assert small.locals_ == []
+
+
+def test_uninteresting_case_is_returned_unchanged():
+    case = _case(_filler(3))
+    small = shrink_case(case, lambda c: False)
+    assert small.source() == case.source()
+
+
+def test_shrink_is_idempotent_and_deterministic():
+    case = generate_case(99, 3)
+
+    def interesting(c):
+        return "barrier" in c.source()
+
+    once = shrink_case(case, interesting)
+    again = shrink_case(case, interesting)
+    assert once.source() == again.source()  # deterministic
+    fixed = shrink_case(once, interesting)
+    assert fixed.source() == once.source()  # idempotent
+
+
+def test_predicate_exceptions_count_as_uninteresting():
+    case = _case(_filler(2) + [Raw("acc = (acc + 2.0f);")])
+
+    def fragile(c):
+        if count_statements(c.body) < 2:
+            raise RuntimeError("reduced too far")
+        return True
+
+    small = shrink_case(case, fragile)
+    assert count_statements(small.body) == 2
+
+
+# ---------------------------------------------------------------------------
+# end to end: a planted oracle mismatch minimizes within budget
+# ---------------------------------------------------------------------------
+
+
+def test_planted_mismatch_minimizes_within_budget():
+    """Corrupt the tape backend's outputs (the oracle's fault-injection
+    drill) on a real generated kernel: the oracle reports ``exec-diff``
+    and the shrinker must pin it down to a handful of statements."""
+    case = generate_case(7, 0)
+    assert count_statements(case.body) >= 3
+    first = run_case(case, corrupt="tape")
+    assert any(m.check == "exec-diff" for m in first.mismatches)
+
+    def still_failing(c):
+        got = run_case(c, corrupt="tape")
+        return any(m.check == "exec-diff" for m in got.mismatches)
+
+    small = shrink_case(case, still_failing)
+    # an always-on output corruption needs no kernel statements at all —
+    # the budget is the loose upper bound that matters for real bugs
+    assert count_statements(small.body) <= 4
+    assert still_failing(small)
+    twice = shrink_case(small, still_failing)
+    assert twice.source() == small.source()

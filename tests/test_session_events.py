@@ -226,7 +226,8 @@ def test_jsonl_sink_roundtrips_schema(tmp_path):
             for name, types in schema.items():
                 t = types[0]
                 payload[name] = (
-                    "x" if t is str else [1] if t is list else 1
+                    "x" if t is str else [1] if t is list
+                    else True if t is bool else 1
                 )
             emit(kind, **payload)
     finally:
