@@ -26,6 +26,10 @@ Subcommands:
   fuzzer: seeded random kernels judged by all three execution backends,
   the race analyzer and the Grover pass at once, with delta-minimized
   reproducers and corpus promotion (see :mod:`repro.fuzz`).
+* ``python -m repro.cli search [...]`` — deterministic beam search over
+  rewrite-rule pipelines, scored by the trace-driven perf model and
+  verified by the analyzer + three-backend differential runner
+  (see :mod:`repro.search`).
 
 Every subcommand (and the default kernel command) accepts ``--config
 FILE`` (a JSON session config, see :mod:`repro.session.config`) and
@@ -126,14 +130,27 @@ def passes_main(argv=None) -> int:
     if args.run is None:
         rows = [
             [name, "x" if name in PIPELINES[args.pipeline] else "",
+             PASS_REGISTRY[name].legality_arbiter or "-",
              PASS_REGISTRY[name].description]
             for name in sorted(PASS_REGISTRY)
         ]
         print(ascii_table(
-            ["pass", f"in '{args.pipeline}'", "description"], rows,
+            ["pass", f"in '{args.pipeline}'", "legality arbiter",
+             "description"], rows,
             title=f"registered passes (pipeline '{args.pipeline}': "
             f"{' -> '.join(PIPELINES[args.pipeline])})",
         ))
+        rule_infos = [
+            PASS_REGISTRY[name] for name in sorted(PASS_REGISTRY)
+            if PASS_REGISTRY[name].rule is not None
+        ]
+        if rule_infos:
+            print()
+            print("rewrite rules (probe/apply/legality/features protocol):")
+            for info in rule_infos:
+                print(f"  {info.name}")
+                print(f"    arbiter:  {info.legality_arbiter}")
+                print(f"    legality: {info.legality}")
         return 0
 
     defines = {}
@@ -195,6 +212,10 @@ def main(argv=None) -> int:
         from repro.fuzz.runner import main as fuzz_main
 
         return fuzz_main(list(argv[1:]))
+    if argv and argv[0] == "search":
+        from repro.search import main as search_main
+
+        return search_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     source = Path(args.file).read_text()
     defines = {}

@@ -52,7 +52,10 @@ DEFAULT_SAMPLE_GROUPS = 16
 #: total): large enough that per-launch costs (tape compile, the pilot
 #: group) amortise the way they do in a real Table IV sweep
 TRACE_SAMPLE_GROUPS = 256
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
+#: scale the ``--search`` tier searches at: candidate scoring compiles
+#: and executes dozens of kernels per app, so it runs the small grids
+SEARCH_SCALE = "test"
 
 
 class EquivalenceError(AssertionError):
@@ -390,12 +393,46 @@ def validate_app_ids(apps: Sequence[str]) -> List[str]:
     return list(apps)
 
 
+def bench_search(apps: Sequence[str], workers: int) -> Dict:
+    """The ``--search`` tier: per-app winning pipeline vs the default.
+
+    Runs the rewrite-pipeline beam search (session ``search_*`` knobs)
+    at :data:`SEARCH_SCALE` and records, per app, the verified winning
+    pipeline plus searched-vs-default predicted cycles.  Every winner
+    has already passed the analyzer gate and the three-backend
+    differential runner — an unverifiable app is a hard failure here,
+    not a recorded number.
+    """
+    from repro.search import SearchOptions, run_search
+
+    run = run_search(
+        SearchOptions(apps=tuple(apps), scale=SEARCH_SCALE, workers=workers)
+    )
+    out: Dict = {"scale": SEARCH_SCALE, "wall_s": run.wall_s, "apps": {}}
+    for r in run.results:
+        if not r.verified:
+            raise EquivalenceError(
+                f"search winner for {r.app_id} failed verification: "
+                + "; ".join(r.rejected)
+            )
+        out["apps"][r.app_id] = {
+            "pipeline": list(r.winner.pipeline),
+            "searched_cycles": r.winner.cycles,
+            "default_cycles": r.baseline.cycles,
+            "speedup": r.speedup,
+            "device": r.device,
+            "candidates_evaluated": r.evaluated,
+        }
+    return out
+
+
 def run_bench(
     apps: Sequence[str] = DEFAULT_APPS,
     scale: str = "bench",
     sample_groups: int = DEFAULT_SAMPLE_GROUPS,
     workers: int = 1,
     smoke: bool = True,
+    search: bool = False,
 ) -> Dict:
     validate_app_ids(apps)
     results = {
@@ -415,6 +452,8 @@ def run_bench(
         results["smoke"] = bench_smoke(sample_groups=sample_groups)
     if workers > 1:
         results["parallel_matrix"] = bench_matrix(workers, scale)
+    if search:
+        results["search"] = bench_search(apps, workers)
     return results
 
 
@@ -433,6 +472,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="also time sharded launches and the parallel "
                    "experiment matrix with this many workers "
                    "(default: $REPRO_WORKERS, then 1 = serial only)")
+    p.add_argument("--search", action="store_true",
+                   help="also beam-search rewrite-rule pipelines per app "
+                   "and record winning pipeline + searched-vs-default "
+                   "predicted cycles (see repro search)")
     p.add_argument("--json", dest="json_path", default="BENCH_pipeline.json",
                    help="output file ('-' for stdout only)")
     p.add_argument("--config", default=None,
@@ -455,6 +498,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.scale,
             args.sample_groups,
             workers=resolve_workers(args.workers),
+            search=args.search,
         )
     text = json.dumps(results, indent=2, sort_keys=True)
     if args.json_path != "-":
@@ -480,6 +524,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"exact vs reference executor in {total:.2f}s "
             f"(backend {smoke['exec_backend']})"
         )
+    searched = results.get("search")
+    if searched:
+        for app_id, s in searched["apps"].items():
+            pipe = " -> ".join(s["pipeline"]) or "(default)"
+            print(
+                f"# search {app_id}: {pipe} — {s['searched_cycles']:.1f} "
+                f"vs default {s['default_cycles']:.1f} cycles "
+                f"({s['speedup']:.3f}x on {s['device']}, verified)"
+            )
     matrix = results.get("parallel_matrix")
     if matrix:
         print(

@@ -1,0 +1,588 @@
+"""Deterministic beam search over rewrite-rule pipelines.
+
+The Grover paper's own evaluation shows its one transformation wins only
+a third of the time — which transformation (if any) helps is a per-app,
+per-device question.  This engine answers it by *searching*: starting
+from the compiled kernel (the default pipeline already applied), it
+extends candidate pipelines one registered rewrite rule at a time,
+scores every candidate with the trace-driven performance model under the
+codegen execution backend, and keeps the ``beam`` best per depth level.
+
+Scoring is a prediction; shipping is gated.  Every surviving winner is
+re-derived from scratch and verified before it is reported:
+
+* the static race/divergence analyzer must not find a decided race or
+  barrier divergence in the transformed kernel (the same veto arbiter
+  that guards ``Session.disable_local_memory``);
+* all three execution backends (reference / tape / codegen) must produce
+  bit-identical traces and outputs for the transformed kernel;
+* the transformed kernel's outputs must be byte-identical to the
+  untransformed baseline's (:func:`repro.parallel.diff.assert_outputs_equal`).
+
+A candidate that fails any gate is discarded and the next-best one is
+verified instead; the empty pipeline is always a candidate, so the
+reported winner is never worse than the default by predicted cycles.
+
+Everything is deterministic: rule applications are deterministic, the
+interpreter and models are deterministic, candidates are generated and
+ranked in a fixed order, and the process-pool fan-out (borrowed from the
+fuzz runner) gathers results in submission order — so the winning
+pipeline is byte-identical across worker counts and repeated processes
+(pinned by ``tests/test_search_determinism.py``).
+
+Exposed on the command line as ``repro search``::
+
+    python -m repro.cli search --apps NVD-MT,NVD-MM-B --beam 2 --depth 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.parallel.engine import make_pool, resolve_workers
+from repro.session import events
+
+__all__ = [
+    "CandidateEval",
+    "AppSearchResult",
+    "SearchRunResult",
+    "SearchOptions",
+    "evaluate_pipeline",
+    "verify_pipeline",
+    "search_app",
+    "run_search",
+    "render_search",
+    "main",
+]
+
+#: cycles assigned to candidates whose evaluation raised — sorts last,
+#: never survives the ``rewrites > 0`` keep filter either
+_FAILED = float("inf")
+
+
+@dataclass(frozen=True)
+class CandidateEval:
+    """One scored pipeline — plain data, picklable across the pool."""
+
+    app_id: str
+    pipeline: Tuple[str, ...]
+    rewrites: Tuple[int, ...]
+    cycles: float
+    device: str
+    error: str = ""
+
+    @property
+    def label(self) -> str:
+        return " -> ".join(self.pipeline) if self.pipeline else "(default)"
+
+
+@dataclass
+class AppSearchResult:
+    """The search outcome for one application."""
+
+    app_id: str
+    device: str
+    baseline: CandidateEval
+    winner: CandidateEval
+    evaluated: int
+    verified: bool          # False only when every candidate failed gates
+    rejected: Tuple[str, ...] = ()  # labels of candidates a gate refused
+    wall_s: float = 0.0
+
+    @property
+    def speedup(self) -> float:
+        if self.winner.cycles <= 0:
+            return 1.0
+        return self.baseline.cycles / self.winner.cycles
+
+
+@dataclass
+class SearchOptions:
+    apps: Tuple[str, ...] = ()
+    rules: Tuple[str, ...] = ()  # empty: every registered rule
+    beam: Optional[int] = None   # None: session search_beam
+    depth: Optional[int] = None  # None: session search_depth
+    scale: str = "test"
+    sample_groups: Optional[int] = None  # None: session search_sample_groups
+    device: Optional[str] = None         # None: session search_device
+    workers: Optional[int] = None        # None: session workers
+
+
+@dataclass
+class SearchRunResult:
+    options: SearchOptions
+    results: List[AppSearchResult] = field(default_factory=list)
+    workers: int = 1
+    wall_s: float = 0.0
+
+    def summary(self) -> str:
+        return render_search(self)
+
+
+# ---------------------------------------------------------------------------
+# candidate evaluation (runs in pool workers)
+# ---------------------------------------------------------------------------
+
+
+def _apply_pipeline(kernel, pipeline: Sequence[str], geometry) -> Tuple[int, ...]:
+    """Apply rules in order, verifying the IR after each; returns the
+    per-rule rewrite counts."""
+    from repro.ir.verifier import verify_function
+    from repro.rules import RuleContext, get_rule
+
+    ctx = RuleContext(local_size=tuple(geometry) if geometry else None)
+    rewrites: List[int] = []
+    for name in pipeline:
+        rewrites.append(int(get_rule(name).apply(kernel, ctx)))
+        verify_function(kernel)
+    return tuple(rewrites)
+
+
+def evaluate_pipeline(
+    app_id: str,
+    pipeline: Sequence[str],
+    scale: str,
+    sample_groups: int,
+    device_name: str,
+) -> CandidateEval:
+    """Compile, transform, execute (codegen backend) and model one
+    pipeline; failures come back as ``error`` candidates, never raise."""
+    pipeline = tuple(pipeline)
+    try:
+        from repro.apps.harness import compile_app, execute_app
+        from repro.apps.registry import get_app
+        from repro.perf import estimate_cost
+        from repro.session import Session
+
+        app = get_app(app_id)
+        problem = app.make_problem(scale)
+        # a fresh, environment-isolated session: scoring must not depend
+        # on the caller's REPRO_* environment (determinism contract)
+        with Session(env={}, workers=1, exec_backend="codegen").activate():
+            kernel, _ = compile_app(app, "with")
+            rewrites = _apply_pipeline(kernel, pipeline, problem.local_size)
+            run = execute_app(
+                app,
+                kernel,
+                variant="with",
+                scale=scale,
+                collect_trace=True,
+                sample_groups=sample_groups,
+                workers=1,
+            )
+            cost = estimate_cost(run.trace, device_name)
+        return CandidateEval(app_id, pipeline, rewrites, cost.cycles, device_name)
+    except Exception as exc:
+        return CandidateEval(
+            app_id,
+            pipeline,
+            (),
+            _FAILED,
+            device_name,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def _eval_one(payload: Tuple[str, Tuple[str, ...], str, int, str]) -> CandidateEval:
+    """In-process evaluator (serial path and pool-failure fallback)."""
+    app_id, pipeline, scale, sample_groups, device_name = payload
+    return evaluate_pipeline(app_id, pipeline, scale, sample_groups, device_name)
+
+
+def _eval_in_worker(payload) -> CandidateEval:
+    """Pool-child evaluator: drop event sinks inherited over ``fork`` so
+    children never write into the parent's JSONL stream."""
+    events.bus()._sinks.clear()
+    return _eval_one(payload)
+
+
+def _fan_out(payloads: List[Tuple], pool) -> List[CandidateEval]:
+    """Evaluate payloads (pool when available, else serially), returning
+    results in input order — the determinism contract."""
+    if pool is None:
+        return [_eval_one(p) for p in payloads]
+    results: List[CandidateEval] = []
+    futures = [pool.submit(_eval_in_worker, p) for p in payloads]
+    for payload, fut in zip(payloads, futures):
+        try:
+            results.append(fut.result())
+        except Exception:
+            # pool infrastructure died (evaluate_pipeline itself never
+            # raises): redo this candidate serially
+            results.append(_eval_one(payload))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# winner verification (analyzer gate + differential runner)
+# ---------------------------------------------------------------------------
+
+
+def verify_pipeline(
+    app_id: str,
+    pipeline: Sequence[str],
+    scale: str,
+) -> Tuple[bool, str]:
+    """Re-derive the transformed kernel and gate it; ``(ok, reason)``.
+
+    Gates, in order: the static race/divergence analyzer (a decided
+    finding vetoes), three-backend trace + output bit-identity, and
+    byte-identical outputs against the untransformed baseline.
+    """
+    from repro.analysis import analyze_kernel
+    from repro.apps.harness import compile_app, execute_app
+    from repro.apps.registry import get_app
+    from repro.parallel.diff import (
+        DifferentialMismatch,
+        assert_outputs_equal,
+        assert_traces_equal,
+    )
+    from repro.session import Session
+
+    pipeline = tuple(pipeline)
+    app = get_app(app_id)
+    problem = app.make_problem(scale)
+    try:
+        with Session(env={}, workers=1, exec_backend="codegen").activate():
+            kernel, _ = compile_app(app, "with")
+            _apply_pipeline(kernel, pipeline, problem.local_size)
+            if pipeline:  # the analyzer veto gate (empty pipeline: a no-op)
+                rep = analyze_kernel(kernel, problem.local_size)
+                blocking = rep.races + rep.divergences
+                if blocking:
+                    return False, "analyzer veto: " + "; ".join(
+                        f.render() for f in blocking
+                    )
+            baseline_kernel, _ = compile_app(app, "with")
+            base = execute_app(
+                app, baseline_kernel, variant="with", scale=scale,
+                collect_trace=False, workers=1,
+            )
+        runs = {}
+        for backend in ("reference", "tape", "codegen"):
+            with Session(env={}, workers=1, exec_backend=backend).activate():
+                # full grid, no sampling: sampled launches execute only
+                # the sampled groups, and verification must compare the
+                # complete output of every work-group
+                runs[backend] = execute_app(
+                    app, kernel, variant="with", scale=scale,
+                    collect_trace=True, workers=1,
+                )
+        ref = runs["reference"]
+        for backend in ("tape", "codegen"):
+            assert_traces_equal(
+                ref.trace, runs[backend].trace,
+                f"{app_id} search winner [{backend}]",
+            )
+            assert_outputs_equal(
+                ref.outputs, runs[backend].outputs,
+                f"{app_id} search winner [{backend}]",
+            )
+        # byte-identical outputs against the untransformed kernel: every
+        # shipped rule preserves computed values exactly (it reorders or
+        # re-homes memory traffic, never arithmetic)
+        assert_outputs_equal(
+            base.outputs, ref.outputs, f"{app_id} search winner vs default"
+        )
+    except DifferentialMismatch as exc:
+        return False, f"differential: {exc}"
+    except Exception as exc:
+        return False, f"{type(exc).__name__}: {exc}"
+    return True, ""
+
+
+# ---------------------------------------------------------------------------
+# the search proper
+# ---------------------------------------------------------------------------
+
+
+def _resolved(options: SearchOptions) -> Tuple[Tuple[str, ...], int, int, int, str]:
+    """Fill ``None`` option fields from the active session's config."""
+    from repro.rules import rule_names
+    from repro.session import current_session
+
+    session = current_session()
+    rules = tuple(options.rules) or rule_names()
+    beam = options.beam if options.beam is not None else session.get("search_beam")
+    depth = options.depth if options.depth is not None else session.get("search_depth")
+    sample_groups = (
+        options.sample_groups
+        if options.sample_groups is not None
+        else session.get("search_sample_groups")
+    )
+    device_name = options.device or session.get("search_device")
+    return rules, int(beam), int(depth), int(sample_groups), str(device_name)
+
+
+def search_app(app_id: str, options: SearchOptions, pool=None) -> AppSearchResult:
+    """Beam-search one application; see the module docstring."""
+    from repro.rules import get_rule
+
+    rules, beam, depth, sample_groups, device_name = _resolved(options)
+    for name in rules:
+        get_rule(name)  # unknown rule names fail before any evaluation
+    t0 = time.perf_counter()
+    events.emit(
+        "search_start",
+        app=app_id,
+        rules=list(rules),
+        beam=beam,
+        depth=depth,
+        device=device_name,
+    )
+
+    def payload(pipeline: Tuple[str, ...]):
+        return (app_id, pipeline, options.scale, sample_groups, device_name)
+
+    baseline = _eval_one(payload(()))
+    if baseline.error:
+        raise RuntimeError(
+            f"search baseline for {app_id!r} failed: {baseline.error}"
+        )
+    events.emit(
+        "search_candidate",
+        app=app_id,
+        pipeline=[],
+        rewrites=[],
+        cycles=baseline.cycles,
+        kept=True,
+    )
+
+    kept_all: List[CandidateEval] = []
+    frontier: List[CandidateEval] = [baseline]
+    for _level in range(depth):
+        extensions: List[Tuple[str, ...]] = []
+        for cand in frontier:
+            for name in rules:
+                if name in cand.pipeline:
+                    continue  # rules are idempotent: repeats are no-ops
+                extensions.append(cand.pipeline + (name,))
+        if not extensions:
+            break
+        evals = _fan_out([payload(p) for p in extensions], pool)
+        kept: List[CandidateEval] = []
+        for ev in evals:
+            keep = not ev.error and bool(ev.rewrites) and ev.rewrites[-1] > 0
+            events.emit(
+                "search_candidate",
+                app=app_id,
+                pipeline=list(ev.pipeline),
+                rewrites=list(ev.rewrites),
+                cycles=ev.cycles if ev.cycles != _FAILED else -1.0,
+                kept=keep,
+            )
+            if keep:
+                kept.append(ev)
+        kept_all.extend(kept)
+        frontier = sorted(kept, key=lambda e: (e.cycles, e.pipeline))[:beam]
+        if not frontier:
+            break
+
+    # rank every scored candidate (baseline included) and verify best-first
+    ranked = sorted(
+        kept_all + [baseline],
+        key=lambda e: (e.cycles, len(e.pipeline), e.pipeline),
+    )
+    winner = baseline
+    verified = False
+    rejected: List[str] = []
+    for cand in ranked:
+        ok, reason = verify_pipeline(app_id, cand.pipeline, options.scale)
+        events.emit(
+            "search_verified",
+            app=app_id,
+            pipeline=list(cand.pipeline),
+            ok=ok,
+            reason=reason,
+        )
+        if ok:
+            winner = cand
+            verified = True
+            break
+        rejected.append(f"{cand.label}: {reason}")
+
+    wall = time.perf_counter() - t0
+    events.emit(
+        "search_end",
+        app=app_id,
+        pipeline=list(winner.pipeline),
+        cycles=winner.cycles,
+        baseline_cycles=baseline.cycles,
+        evaluated=len(kept_all) + 1,
+        verified=verified,
+        wall_ms=wall * 1e3,
+    )
+    return AppSearchResult(
+        app_id=app_id,
+        device=device_name,
+        baseline=baseline,
+        winner=winner,
+        evaluated=len(kept_all) + 1,
+        verified=verified,
+        rejected=tuple(rejected),
+        wall_s=wall,
+    )
+
+
+def run_search(options: SearchOptions) -> SearchRunResult:
+    """Search every requested app (default: the full Table III set)."""
+    from repro.apps.registry import table_apps
+
+    t0 = time.perf_counter()
+    apps = tuple(options.apps) or tuple(a.id for a in table_apps())
+    n_workers = resolve_workers(options.workers)
+    pool = make_pool(n_workers) if n_workers > 1 else None
+    run = SearchRunResult(options=options, workers=n_workers)
+    try:
+        for app_id in apps:
+            run.results.append(search_app(app_id, options, pool))
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    run.wall_s = time.perf_counter() - t0
+    return run
+
+
+def render_search(run: SearchRunResult) -> str:
+    """The deterministic report ``--golden`` pins (no wall-clock in it)."""
+    from repro.reporting import ascii_table
+
+    rules, beam, depth, sample_groups, device_name = _resolved(run.options)
+    rows = []
+    for r in run.results:
+        rows.append(
+            [
+                r.app_id,
+                r.winner.label,
+                f"{r.winner.cycles:.1f}",
+                f"{r.baseline.cycles:.1f}",
+                f"{r.speedup:.3f}x",
+                "yes" if r.verified else "NO",
+            ]
+        )
+    title = (
+        f"pipeline search (beam {beam}, depth {depth}, device {device_name}, "
+        f"scale {run.options.scale}, sample groups {sample_groups})"
+    )
+    return ascii_table(
+        ["app", "winning pipeline", "predicted cycles", "default cycles",
+         "speedup", "verified"],
+        rows,
+        title=title,
+    )
+
+
+# ---------------------------------------------------------------------------
+# CLI: ``repro search``
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from repro.cli import add_session_flags
+    from repro.perf.bench import validate_app_ids
+    from repro.session import session_from_flags
+
+    p = argparse.ArgumentParser(
+        prog="repro search",
+        description="Beam-search rewrite-rule pipelines per app: score "
+        "candidates with the trace-driven performance model (codegen "
+        "backend), then verify every winner with the race analyzer and "
+        "the three-backend differential runner.",
+    )
+    p.add_argument("--apps", default="",
+                   help="comma-separated app ids (default: every Table III app)")
+    p.add_argument("--rules", default="",
+                   help="comma-separated rule names to search over "
+                   "(default: every registered rule)")
+    p.add_argument("--beam", type=int, default=None,
+                   help="beam width (default: $REPRO_SEARCH_BEAM)")
+    p.add_argument("--depth", type=int, default=None,
+                   help="max pipeline length (default: $REPRO_SEARCH_DEPTH)")
+    p.add_argument("--greedy", action="store_true",
+                   help="greedy baseline: beam width 1")
+    p.add_argument("--scale", default="test", help="problem scale")
+    p.add_argument("--sample-groups", type=int, default=None,
+                   help="traced groups per scoring launch "
+                   "(default: $REPRO_SEARCH_SAMPLE_GROUPS)")
+    p.add_argument("--device", default=None,
+                   help="device model scoring candidates "
+                   "(default: $REPRO_SEARCH_DEVICE)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool width for candidate evaluation "
+                   "(default: $REPRO_WORKERS, then 1)")
+    p.add_argument("--golden", metavar="FILE", default=None,
+                   help="compare the report against FILE (CI pinning); "
+                   "with $REPRO_UPDATE_GOLDEN=1 or --update-golden, "
+                   "rewrite FILE instead")
+    p.add_argument("--update-golden", action="store_true",
+                   help="rewrite --golden FILE with the current report")
+    add_session_flags(p)
+    args = p.parse_args(argv)
+
+    app_ids = tuple(a.strip() for a in args.apps.split(",") if a.strip())
+    if app_ids:
+        try:
+            validate_app_ids(app_ids)
+        except ValueError as exc:
+            p.error(str(exc))
+
+    options = SearchOptions(
+        apps=app_ids,
+        rules=tuple(r.strip() for r in args.rules.split(",") if r.strip()),
+        beam=1 if args.greedy else args.beam,
+        depth=args.depth,
+        scale=args.scale,
+        sample_groups=args.sample_groups,
+        device=args.device,
+        workers=args.workers,
+    )
+    with session_from_flags(args.config, args.trace_out) as session:
+        with session.activate():
+            run = run_search(options)
+            report = render_search(run)
+            update = args.update_golden or bool(session.get("update_golden"))
+    print(report)
+    for r in run.results:
+        for line in r.rejected:
+            print(f"# {r.app_id} rejected {line}")
+    if not all(r.verified for r in run.results):
+        print("error: some apps have no verifiable pipeline", file=sys.stderr)
+        return 1
+    if args.golden:
+        if update:
+            with open(args.golden, "w") as fh:
+                fh.write(report + "\n")
+            print(f"# golden updated: {args.golden}")
+        else:
+            import difflib
+
+            try:
+                with open(args.golden) as fh:
+                    expected = fh.read()
+            except OSError as exc:
+                print(f"error: cannot read golden {args.golden!r}: {exc}",
+                      file=sys.stderr)
+                return 1
+            if expected != report + "\n":
+                diff = "\n".join(
+                    difflib.unified_diff(
+                        expected.splitlines(),
+                        (report + "\n").splitlines(),
+                        fromfile=args.golden,
+                        tofile="current",
+                        lineterm="",
+                    )
+                )
+                print(f"error: search report drifted from {args.golden}:\n{diff}",
+                      file=sys.stderr)
+                return 1
+            print(f"# golden ok: {args.golden}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -202,6 +202,41 @@ _VARS = (
         "segments and stream back transparently on access.",
     ),
     ConfigVar(
+        name="search_beam",
+        env="REPRO_SEARCH_BEAM",
+        type="int",
+        default=2,
+        minimum=1,
+        doc="Beam width of the rewrite-pipeline search (repro search); "
+        "1 is the greedy baseline.",
+    ),
+    ConfigVar(
+        name="search_depth",
+        env="REPRO_SEARCH_DEPTH",
+        type="int",
+        default=3,
+        minimum=1,
+        doc="Maximum pipeline length the search explores (one rule "
+        "appended per depth level).",
+    ),
+    ConfigVar(
+        name="search_sample_groups",
+        env="REPRO_SEARCH_SAMPLE_GROUPS",
+        type="int",
+        default=8,
+        minimum=1,
+        doc="Work-groups traced per candidate-scoring launch; outputs "
+        "and verification always run the full grid.",
+    ),
+    ConfigVar(
+        name="search_device",
+        env="REPRO_SEARCH_DEVICE",
+        type="str",
+        default="Fermi",
+        choices=("SNB", "Nehalem", "MIC", "Fermi", "Kepler", "Tahiti"),
+        doc="Device model whose predicted cycles score search candidates.",
+    ),
+    ConfigVar(
         name="codegen_cache_dir",
         env="REPRO_CODEGEN_CACHE_DIR",
         type="str",

@@ -359,6 +359,22 @@ class Session:
         with self.activate():
             return run_bench(**kwargs)
 
+    def search(self, options=None, **kwargs):
+        """Beam-search rewrite-rule pipelines (see :mod:`repro.search`).
+
+        Accepts a prebuilt :class:`~repro.search.SearchOptions` or its
+        keyword fields (``session.search(apps=("NVD-MT",), depth=2)``);
+        unset knobs resolve against this session's ``search_*`` config.
+        """
+        from repro.search import SearchOptions, run_search
+
+        if options is None:
+            options = SearchOptions(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either options or keyword fields, not both")
+        with self.activate():
+            return run_search(options)
+
 
 #: activation stack; the top is what ``current_session()`` returns
 _STACK: List[Session] = []

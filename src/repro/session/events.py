@@ -233,6 +233,39 @@ EVENT_SCHEMA: Dict[str, Dict[str, Tuple[type, ...]]] = {
         "workers": (int,),
         "wall_ms": (int, float),
     },
+    # -- pipeline search ----------------------------------------------------
+    "search_start": {
+        "app": (str,),
+        "rules": (list,),
+        "beam": (int,),
+        "depth": (int,),
+        "device": (str,),
+    },
+    "search_candidate": {
+        "app": (str,),
+        "pipeline": (list,),
+        "rewrites": (list,),
+        # -1.0 for candidates whose evaluation failed
+        "cycles": (int, float),
+        # survived the keep filter (no error, last rule rewrote something)
+        "kept": (bool,),
+    },
+    "search_verified": {
+        "app": (str,),
+        "pipeline": (list,),
+        "ok": (bool,),
+        # "" when ok; the failing gate's message otherwise
+        "reason": (str,),
+    },
+    "search_end": {
+        "app": (str,),
+        "pipeline": (list,),
+        "cycles": (int, float),
+        "baseline_cycles": (int, float),
+        "evaluated": (int,),
+        "verified": (bool,),
+        "wall_ms": (int, float),
+    },
     # -- experiment matrix --------------------------------------------------
     "matrix_start": {"apps": (list,), "devices": (list,), "workers": (int,)},
     "matrix_case_retried": {"app": (str,), "reason": (str,)},

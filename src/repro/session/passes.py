@@ -43,11 +43,19 @@ class PassInfo:
     The body takes a :class:`Function` and returns its rewrite count
     (instructions promoted / folded / eliminated / hoisted / local loads
     rewritten — whatever "applications" means for that pass).
+
+    Passes backed by a :class:`repro.rules.RewriteRule` additionally
+    carry the rule object and its legality-arbiter metadata, so
+    ``repro passes`` and the search engine can introspect them; plain
+    passes leave ``rule`` as ``None``.
     """
 
     name: str
     run: Callable[[Function], int]
     description: str
+    legality_arbiter: str = ""
+    legality: str = ""
+    rule: object = None
 
 
 @dataclass(frozen=True)
@@ -88,6 +96,31 @@ def get_pass(name: str) -> PassInfo:
     return info
 
 
+def _register_rule_pass(rule: object) -> None:
+    """Register a :class:`repro.rules.RewriteRule` as a named pass.
+
+    The pass body applies the rule under a default :class:`RuleContext`
+    (geometry from ``reqd_work_group_size`` when the kernel pins one) so
+    ``PassManager`` pipelines see rules exactly like any other pass.
+    """
+    from repro.rules import RuleContext
+
+    if rule.name in PASS_REGISTRY:
+        raise ValueError(f"pass {rule.name!r} already registered")
+
+    def run(fn: Function, _rule=rule) -> int:
+        return int(_rule.apply(fn, RuleContext()))
+
+    PASS_REGISTRY[rule.name] = PassInfo(
+        name=rule.name,
+        run=run,
+        description=rule.description,
+        legality_arbiter=rule.legality_arbiter,
+        legality=rule.legality,
+        rule=rule,
+    )
+
+
 def _register_builtin_passes() -> None:
     from repro.core.dce import eliminate_dead_code
     from repro.core.normalize import normalize_gep_indices
@@ -97,6 +130,7 @@ def _register_builtin_passes() -> None:
         loop_invariant_code_motion,
         promote_single_store_slots,
     )
+    from repro.rules import RULE_REGISTRY
 
     register_pass(
         "promote-single-store-slots",
@@ -132,27 +166,9 @@ def _register_builtin_passes() -> None:
         "verifier checkpoint: structural well-formedness, no rewrites",
     )(_verify_checkpoint)
 
-    def _grover(fn: Function) -> int:
-        from repro.core.grover import GroverPass
-        from repro.ir.types import AddressSpace, PointerType
-
-        if not fn.is_kernel:
-            return 0
-        uses_local = bool(fn.local_arrays) or any(
-            isinstance(a.type, PointerType)
-            and a.type.addrspace == AddressSpace.LOCAL
-            for a in fn.args
-        )
-        if not uses_local:
-            return 0  # nothing to disable — makes the pass idempotent
-        report = GroverPass(allow_partial=True).run(fn)
-        return sum(len(r.lls) for r in report.transformed)
-
-    register_pass(
-        "grover",
-        "the paper's pass: reverse the software-cache pattern and disable "
-        "local memory (rewrites = local loads redirected to global)",
-    )(_grover)
+    # the paper's pass, now a rewrite rule — registered here so it keeps
+    # its historical position in the registry listing
+    _register_rule_pass(RULE_REGISTRY["grover"])
 
     def _analyze_races(fn: Function) -> int:
         from repro.analysis import analyze_races_static, check_staging
@@ -184,6 +200,12 @@ def _register_builtin_passes() -> None:
         "static barrier-divergence analysis; pure diagnosis "
         "(rewrites = divergent barriers found)",
     )(_analyze_divergence)
+
+    # the remaining rewrite rules (padding, barrier elimination, global
+    # load hoisting, ...) — every registered rule is a pass
+    for rule in RULE_REGISTRY.values():
+        if rule.name not in PASS_REGISTRY:
+            _register_rule_pass(rule)
 
 
 _register_builtin_passes()

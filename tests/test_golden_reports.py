@@ -79,5 +79,6 @@ def test_golden_dir_has_no_strays():
         pytest.skip("golden dir not generated yet")
     known = {f"{app_id}.txt" for app_id in TABLE_ORDER}
     known.add("analyze.txt")  # the `repro analyze` verdict summary (CI)
+    known.add("search.txt")  # the `repro search` pipeline report (CI)
     strays = {p.name for p in GOLDEN_DIR.glob("*.txt")} - known
     assert not strays, f"unexpected golden files: {sorted(strays)}"

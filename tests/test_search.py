@@ -1,0 +1,203 @@
+"""The pipeline-search engine: scoring, gating, events, CLI, config."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.search import (
+    SearchOptions,
+    evaluate_pipeline,
+    render_search,
+    run_search,
+    search_app,
+    verify_pipeline,
+)
+from repro.session import Session, events
+from repro.session.events import validate_event
+
+
+def _search(app_id="NVD-MT", **kw):
+    kw.setdefault("workers", 1)
+    return search_app(app_id, SearchOptions(apps=(app_id,), **kw))
+
+
+# ---------------------------------------------------------------------------
+# evaluation
+# ---------------------------------------------------------------------------
+
+
+def test_evaluate_empty_pipeline_is_the_default():
+    ev = evaluate_pipeline("NVD-MT", (), "test", 8, "Fermi")
+    assert ev.error == ""
+    assert ev.pipeline == () and ev.rewrites == ()
+    assert np.isfinite(ev.cycles) and ev.cycles > 0
+    assert ev.label == "(default)"
+
+
+def test_evaluate_is_deterministic():
+    a = evaluate_pipeline("NVD-MT", ("pad-local-arrays",), "test", 8, "Fermi")
+    b = evaluate_pipeline("NVD-MT", ("pad-local-arrays",), "test", 8, "Fermi")
+    assert a == b
+    assert a.rewrites == (1,)
+
+
+def test_evaluate_unknown_rule_is_an_error_candidate():
+    ev = evaluate_pipeline("NVD-MT", ("bogus",), "test", 8, "Fermi")
+    assert ev.error and ev.cycles == float("inf")
+
+
+def test_padding_changes_the_modelled_cycles():
+    base = evaluate_pipeline("NVD-MT", (), "test", 8, "Fermi")
+    padded = evaluate_pipeline(
+        "NVD-MT", ("pad-local-arrays",), "test", 8, "Fermi"
+    )
+    # the transpose tile serialises on banks; padding must be visible
+    # to the GPU model (that's the whole payoff being searched for)
+    assert padded.cycles < base.cycles
+
+
+# ---------------------------------------------------------------------------
+# verification gates
+# ---------------------------------------------------------------------------
+
+
+def test_verify_accepts_default_and_legal_pipelines():
+    ok, reason = verify_pipeline("NVD-MT", (), "test")
+    assert ok, reason
+    ok, reason = verify_pipeline("NVD-MT", ("pad-local-arrays",), "test")
+    assert ok, reason
+
+
+def test_verify_rejects_broken_pipelines():
+    ok, reason = verify_pipeline("NVD-MT", ("bogus",), "test")
+    assert not ok and "bogus" in reason
+
+
+# ---------------------------------------------------------------------------
+# the search proper
+# ---------------------------------------------------------------------------
+
+
+def test_search_winner_never_worse_than_default():
+    r = _search(depth=2)
+    assert r.verified
+    assert r.winner.cycles <= r.baseline.cycles
+    assert r.speedup >= 1.0
+    assert r.evaluated >= 1
+
+
+def test_greedy_is_beam_one():
+    greedy = _search(depth=2, beam=1)
+    assert greedy.verified
+    assert greedy.winner.cycles <= greedy.baseline.cycles
+
+
+def test_search_respects_rule_subset():
+    r = _search(depth=2, rules=("grover",))
+    assert r.verified
+    assert set(r.winner.pipeline) <= {"grover"}
+
+
+def test_search_unknown_rule_fails_fast():
+    with pytest.raises(KeyError, match="unknown rule"):
+        _search(rules=("nope",))
+
+
+def test_search_events_are_schema_valid():
+    with events.collect() as sink:
+        _search(depth=1)
+    kinds = sink.kinds()
+    assert "search_start" in kinds
+    assert "search_candidate" in kinds
+    assert "search_verified" in kinds
+    assert kinds[-1] == "search_end"
+    for ev in sink.events:
+        validate_event(ev.kind, ev.payload)
+    end = sink.of_kind("search_end")[0].payload
+    assert end["verified"] is True
+    assert end["cycles"] <= end["baseline_cycles"]
+
+
+def test_session_config_reaches_the_resolver():
+    # config plumbing only (the full sweep runs in CI): session knobs
+    # must reach the resolver
+    with Session(
+        env={}, search_beam=1, search_depth=1, search_device="SNB"
+    ).activate():
+        r = _search(app_id="PAB-ST")
+        assert r.device == "SNB"
+
+
+def test_render_is_wall_clock_free():
+    run = run_search(SearchOptions(apps=("NVD-MT",), depth=1, workers=1))
+    text = render_search(run)
+    assert "NVD-MT" in text and "winning pipeline" in text
+    assert render_search(run) == text
+
+
+# ---------------------------------------------------------------------------
+# CLI + session entry point
+# ---------------------------------------------------------------------------
+
+
+def test_cli_search_golden_roundtrip(tmp_path, capsys):
+    from repro.cli import main
+
+    golden = tmp_path / "search.txt"
+    argv = ["search", "--apps", "NVD-MT", "--depth", "1", "--workers", "1",
+            "--golden", str(golden)]
+    assert main(argv + ["--update-golden"]) == 0
+    capsys.readouterr()
+    assert main(argv) == 0
+    assert "# golden ok" in capsys.readouterr().out
+
+
+def test_cli_search_golden_drift_fails(tmp_path, capsys):
+    from repro.cli import main
+
+    golden = tmp_path / "search.txt"
+    golden.write_text("stale report\n")
+    assert main(["search", "--apps", "NVD-MT", "--depth", "1",
+                 "--workers", "1", "--golden", str(golden)]) == 1
+    assert "drifted" in capsys.readouterr().err
+
+
+def test_cli_search_rejects_unknown_app(capsys):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["search", "--apps", "NOPE"])
+    assert "unknown app" in capsys.readouterr().err
+
+
+def test_session_search_entry_point():
+    run = Session(env={}).search(apps=("NVD-MT",), depth=1, workers=1)
+    assert len(run.results) == 1 and run.results[0].verified
+    with pytest.raises(TypeError, match="not both"):
+        Session(env={}).search(SearchOptions(), depth=1)
+
+
+def test_bench_search_tier():
+    from repro.perf.bench import SCHEMA_VERSION, bench_search
+
+    assert SCHEMA_VERSION == 5
+    with Session(env={}, search_depth=1).activate():
+        out = bench_search(("NVD-MT",), workers=1)
+    entry = out["apps"]["NVD-MT"]
+    assert entry["searched_cycles"] <= entry["default_cycles"]
+    assert isinstance(entry["pipeline"], list)
+    assert entry["device"] == "Fermi"
+
+
+def test_cli_passes_lists_rule_metadata(capsys):
+    from repro.cli import main
+
+    assert main(["passes"]) == 0
+    out = capsys.readouterr().out
+    assert "legality arbiter" in out
+    assert "eq3-invertibility" in out
+    assert "counterfactual-race-analysis" in out
+    assert "affine-bounds" in out
+    assert "invariance + dominance" in out
+    assert "rewrite rules" in out

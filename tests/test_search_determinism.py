@@ -1,0 +1,96 @@
+"""Determinism of the pipeline search: the winning pipeline (and every
+number in the report) must be byte-identical across worker counts and
+across python processes.
+
+This is what makes a searched pipeline *shippable*: the CI golden file
+pins one exact report, and ``repro search --workers 4`` on any machine
+must reproduce it bit-for-bit (mirrors ``test_fuzz_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.search import SearchOptions, run_search
+
+APPS = ("NVD-MT", "PAB-ST")
+DEPTH, BEAM = 2, 2
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _subprocess_env() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(_ROOT, "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, _ROOT, env.get("PYTHONPATH", "")) if p
+    )
+    return env
+
+
+def _options(workers: int) -> SearchOptions:
+    return SearchOptions(apps=APPS, beam=BEAM, depth=DEPTH, workers=workers)
+
+
+def _fingerprint(results) -> str:
+    """A digest of everything the search decided (wall times excluded)."""
+    blob = json.dumps(
+        [
+            {
+                "app": r.app_id,
+                "device": r.device,
+                "pipeline": list(r.winner.pipeline),
+                "rewrites": list(r.winner.rewrites),
+                "cycles": r.winner.cycles,
+                "baseline_cycles": r.baseline.cycles,
+                "evaluated": r.evaluated,
+                "verified": r.verified,
+                "rejected": list(r.rejected),
+            }
+            for r in results
+        ],
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def test_winners_identical_across_processes():
+    fp_here = _fingerprint(run_search(_options(workers=1)).results)
+    prog = (
+        "from tests.test_search_determinism import _fingerprint, _options\n"
+        "from repro.search import run_search\n"
+        "print(_fingerprint(run_search(_options(workers=1)).results))\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", prog], capture_output=True, text=True,
+        check=True, env=_subprocess_env(), cwd=_ROOT,
+    )
+    assert proc.stdout.strip() == fp_here
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_winners_independent_of_worker_count(workers):
+    run = run_search(_options(workers=workers))
+    assert run.workers >= 1
+    assert _fingerprint(run.results) == _EXPECTED_FP
+
+
+#: computed once at import by the serial path; both parametrizations
+#: (and the cross-process test) must land on the same digest
+_EXPECTED_FP = _fingerprint(run_search(_options(workers=1)).results)
+
+
+def test_report_text_identical_across_worker_counts():
+    """The golden file pins the rendered report, so the text itself —
+    not just the structured fields — must be worker-independent."""
+    from repro.search import render_search
+
+    serial = run_search(_options(workers=1))
+    fanned = run_search(_options(workers=4))
+    assert render_search(serial) == render_search(fanned)

@@ -40,6 +40,10 @@ def test_registry_covers_every_historical_env_var():
         "REPRO_EXEC_BACKEND",
         "REPRO_TAPE_BATCH",
         "REPRO_TRACE_SPILL_MB",
+        "REPRO_SEARCH_BEAM",
+        "REPRO_SEARCH_DEPTH",
+        "REPRO_SEARCH_SAMPLE_GROUPS",
+        "REPRO_SEARCH_DEVICE",
         "REPRO_CODEGEN_CACHE_DIR",
     }
     # name <-> env spelling is a bijection
