@@ -52,7 +52,7 @@ DEFAULT_SAMPLE_GROUPS = 16
 #: total): large enough that per-launch costs (tape compile, the pilot
 #: group) amortise the way they do in a real Table IV sweep
 TRACE_SAMPLE_GROUPS = 256
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 #: scale the ``--search`` tier searches at: candidate scoring compiles
 #: and executes dozens of kernels per app, so it runs the small grids
 SEARCH_SCALE = "test"
@@ -426,6 +426,100 @@ def bench_search(apps: Sequence[str], workers: int) -> Dict:
     return out
 
 
+def bench_tune(apps: Sequence[str], workers: int) -> Dict:
+    """The ``--tune`` tier: search with vs without go/no-go pruning.
+
+    Runs the beam search twice over the same apps — once scoring every
+    candidate, once with the learned predictor pruning the scoring
+    queue — and **hard-fails** unless both report identical winning
+    pipelines (pruning is an accelerator; a changed winner is a model
+    regression, not a number to record).  Also measures the predictor's
+    go/no-go accuracy against the unpruned run's ground truth: every
+    fully scored candidate is re-predicted from its features and the
+    prediction compared with whether it actually beat the baseline.
+    """
+    from repro.search import SearchOptions, run_search
+    from repro.tune.features import app_candidate_features, app_kernel_context
+    from repro.tune.model import default_model_path, load_model
+
+    session = current_session()
+    model_path = str(session.get("tune_model") or default_model_path())
+    predictor = load_model(model_path)
+    threshold = float(session.get("tune_threshold"))
+
+    base = run_search(
+        SearchOptions(apps=tuple(apps), scale=SEARCH_SCALE, workers=workers)
+    )
+    tuned = run_search(
+        SearchOptions(
+            apps=tuple(apps), scale=SEARCH_SCALE, workers=workers, tune=True
+        )
+    )
+
+    try:
+        # keep the committed artifact host-independent
+        model_label = os.path.relpath(model_path)
+    except ValueError:
+        model_label = model_path
+    out: Dict = {
+        "scale": SEARCH_SCALE,
+        "model": model_label,
+        "model_sha256": predictor.sha256,
+        "threshold": threshold,
+        "holdout_accuracy": float(
+            (predictor.payload.get("training", {}).get("holdout") or {})
+            .get("accuracy", -1.0)
+        ),
+        "wall_s_unpruned": base.wall_s,
+        "wall_s_tuned": tuned.wall_s,
+        "apps": {},
+    }
+    correct = total = 0
+    for b, t in zip(base.results, tuned.results):
+        if b.winner.pipeline != t.winner.pipeline:
+            raise EquivalenceError(
+                f"tune pruning changed the {b.app_id} winner: "
+                f"{b.winner.label} (unpruned) vs {t.winner.label} (tuned)"
+            )
+        if not t.verified:
+            raise EquivalenceError(
+                f"tuned search winner for {t.app_id} failed verification: "
+                + "; ".join(t.rejected)
+            )
+        ctx = app_kernel_context(b.app_id, SEARCH_SCALE)
+        app_correct = app_total = 0
+        for cand in b.candidates:
+            if cand.error or not cand.rewrites or cand.rewrites[-1] == 0:
+                continue  # the predictor never judged these
+            feats, _ = app_candidate_features(
+                ctx, b.app_id, cand.pipeline, SEARCH_SCALE, cand.device
+            )
+            predicted_win = predictor.predict(feats) >= threshold
+            actual_win = cand.cycles < b.baseline.cycles
+            app_total += 1
+            if predicted_win == actual_win:
+                app_correct += 1
+        correct += app_correct
+        total += app_total
+        out["apps"][b.app_id] = {
+            "pipeline": list(t.winner.pipeline),
+            "verified": t.verified,
+            "scored_unpruned": len(b.candidates),
+            "scored_tuned": len(t.candidates),
+            "pruned": t.pruned,
+            "prediction_accuracy": (
+                app_correct / app_total if app_total else 1.0
+            ),
+        }
+    out["prediction_accuracy"] = correct / total if total else 1.0
+    out["scored_unpruned"] = sum(
+        a["scored_unpruned"] for a in out["apps"].values()
+    )
+    out["scored_tuned"] = sum(a["scored_tuned"] for a in out["apps"].values())
+    out["pruned"] = sum(a["pruned"] for a in out["apps"].values())
+    return out
+
+
 def run_bench(
     apps: Sequence[str] = DEFAULT_APPS,
     scale: str = "bench",
@@ -433,6 +527,7 @@ def run_bench(
     workers: int = 1,
     smoke: bool = True,
     search: bool = False,
+    tune: bool = False,
 ) -> Dict:
     validate_app_ids(apps)
     results = {
@@ -454,6 +549,8 @@ def run_bench(
         results["parallel_matrix"] = bench_matrix(workers, scale)
     if search:
         results["search"] = bench_search(apps, workers)
+    if tune:
+        results["tune"] = bench_tune(apps, workers)
     return results
 
 
@@ -476,6 +573,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="also beam-search rewrite-rule pipelines per app "
                    "and record winning pipeline + searched-vs-default "
                    "predicted cycles (see repro search)")
+    p.add_argument("--tune", action="store_true",
+                   help="also run the search with the learned go/no-go "
+                   "predictor pruning the scoring queue; hard-fails if "
+                   "pruning changes any winner, records pruned counts "
+                   "and prediction accuracy (see repro tune)")
     p.add_argument("--json", dest="json_path", default="BENCH_pipeline.json",
                    help="output file ('-' for stdout only)")
     p.add_argument("--config", default=None,
@@ -499,6 +601,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.sample_groups,
             workers=resolve_workers(args.workers),
             search=args.search,
+            tune=args.tune,
         )
     text = json.dumps(results, indent=2, sort_keys=True)
     if args.json_path != "-":
@@ -533,6 +636,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"vs default {s['default_cycles']:.1f} cycles "
                 f"({s['speedup']:.3f}x on {s['device']}, verified)"
             )
+    tuned = results.get("tune")
+    if tuned:
+        print(
+            f"# tune: {tuned['pruned']} of "
+            f"{tuned['scored_unpruned']} candidates pruned before scoring "
+            f"({tuned['scored_tuned']} still simulated), winners identical, "
+            f"prediction accuracy {tuned['prediction_accuracy']:.3f}, "
+            f"search wall {tuned['wall_s_unpruned']:.2f}s -> "
+            f"{tuned['wall_s_tuned']:.2f}s"
+        )
     matrix = results.get("parallel_matrix")
     if matrix:
         print(

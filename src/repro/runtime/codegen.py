@@ -1556,16 +1556,34 @@ def _obtain_module(
     _remember(key, replay, plan, len(source))
     if cache_dir:
         try:
-            os.makedirs(cache_dir, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                prefix=".cg_", suffix=".py", dir=cache_dir
-            )
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                fh.write(_seal(source))
-            os.replace(tmp, _artifact_path(cache_dir, key))
+            _publish_artifact(cache_dir, key, source)
         except OSError:
             pass  # the disk tier is best-effort
     return replay, plan, "compile", len(source)
+
+
+def _publish_artifact(cache_dir: str, key: str, source: str) -> None:
+    """Atomically write the sealed artifact: temp file in the cache dir,
+    then ``os.replace`` onto the final path.  Whatever fails — the seal,
+    the write, the rename — the descriptor is closed and the temp file
+    unlinked, so an interrupted publish never leaks an fd or leaves a
+    stray ``.cg_*`` file for later runs to trip over."""
+    os.makedirs(cache_dir, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(prefix=".cg_", suffix=".py", dir=cache_dir)
+    try:
+        try:
+            fh = os.fdopen(fd, "w", encoding="utf-8")
+        except Exception:
+            os.close(fd)
+            raise
+        with fh:
+            fh.write(_seal(source))
+        os.replace(tmp, _artifact_path(cache_dir, key))
+    finally:
+        try:
+            os.unlink(tmp)
+        except FileNotFoundError:
+            pass  # replaced: the publish succeeded
 
 
 def _remember(key: str, replay, plan: dict, size: int) -> None:

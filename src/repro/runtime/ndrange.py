@@ -278,6 +278,12 @@ def launch(
                         store.adopt(gt)
                     group_traces.append(gt)
     except Exception as exc:
+        # the trace of a failed launch is never returned: close the
+        # spill store now so its anonymous spill fd does not survive
+        # until garbage collection (the arenas below are freed the same
+        # eager way)
+        if store is not None:
+            store.close()
         if _group_slice is None:
             events.emit(
                 "launch_end",
@@ -287,6 +293,12 @@ def launch(
                 wall_ms=(time.perf_counter() - t_start) * 1e3,
                 error=f"{type(exc).__name__}: {exc}",
             )
+        raise
+    except BaseException:
+        # KeyboardInterrupt/SystemExit: no launch_end event (the launch
+        # was interrupted, not failed), but the spill fd still must go
+        if store is not None:
+            store.close()
         raise
     finally:
         for buf in (local_buffers or {}).values():

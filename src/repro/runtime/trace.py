@@ -397,6 +397,27 @@ class TraceSpillStore:
         self.spill_count = 0
         self._resident: Dict[_Segment, None] = {}  # insertion-ordered
         self._file = None
+        self._closed = False
+
+    def close(self) -> None:
+        """Release the spill file (idempotent).
+
+        A launch that raises closes its store explicitly instead of
+        waiting for garbage collection — the anonymous spill file is
+        unlinked on creation, so the *fd* is the only thing keeping its
+        disk space alive, and an aborted launch must not hold it until
+        some later collection cycle.  After ``close`` the store refuses
+        to rehydrate spilled segments (nothing should read the trace of
+        a failed launch).
+        """
+        self._closed = True
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     # -- adoption ----------------------------------------------------------
     def adopt(self, gt: Optional[GroupTrace]) -> None:
@@ -468,6 +489,10 @@ class TraceSpillStore:
                 1,
             )
             if self._file is None:
+                if self._closed:
+                    raise RuntimeError(
+                        f"TraceSpillStore for {self.kernel!r} is closed"
+                    )
                 self._file = tempfile.TemporaryFile(prefix="repro-trace-spill-")
             self._file.seek(0, 2)
             seg.disk = (self._file.tell(), len(blob))
@@ -490,6 +515,11 @@ class TraceSpillStore:
         )
 
     def _load(self, seg: _Segment) -> None:
+        if self._file is None:
+            raise RuntimeError(
+                f"TraceSpillStore for {self.kernel!r} is closed; "
+                "spilled trace segments cannot be rehydrated"
+            )
         off, length = seg.disk
         self._file.seek(off)
         seg._restore(pickle.loads(zlib.decompress(self._file.read(length))))

@@ -23,6 +23,14 @@ A candidate that fails any gate is discarded and the next-best one is
 verified instead; the empty pipeline is always a candidate, so the
 reported winner is never worse than the default by predicted cycles.
 
+With ``--tune`` (``SearchOptions.tune``) the learned go/no-go predictor
+(:mod:`repro.tune`) screens every extension before it is scored:
+candidates whose last rule rewrote nothing, or whose predicted win
+probability falls below the session's ``tune_threshold``, skip the full
+trace-driven simulation and are reported as pruned on their
+``search_candidate`` event.  Pruning only ever shrinks the scoring
+queue — the verification gates above run unchanged on every winner.
+
 Everything is deterministic: rule applications are deterministic, the
 interpreter and models are deterministic, candidates are generated and
 ranked in a fixed order, and the process-pool fan-out (borrowed from the
@@ -92,6 +100,11 @@ class AppSearchResult:
     verified: bool          # False only when every candidate failed gates
     rejected: Tuple[str, ...] = ()  # labels of candidates a gate refused
     wall_s: float = 0.0
+    #: candidates the go/no-go predictor pruned before scoring (0
+    #: without options.tune)
+    pruned: int = 0
+    #: every extension candidate that went through full scoring
+    candidates: Tuple[CandidateEval, ...] = ()
 
     @property
     def speedup(self) -> float:
@@ -110,6 +123,11 @@ class SearchOptions:
     sample_groups: Optional[int] = None  # None: session search_sample_groups
     device: Optional[str] = None         # None: session search_device
     workers: Optional[int] = None        # None: session workers
+    #: learned go/no-go pruning: skip the trace-driven scoring of
+    #: candidates the tune model predicts to lose (model/threshold from
+    #: the session's tune_model / tune_threshold).  Pure accelerator —
+    #: winners are verified identically with or without it.
+    tune: bool = False
 
 
 @dataclass
@@ -150,7 +168,23 @@ def evaluate_pipeline(
     device_name: str,
 ) -> CandidateEval:
     """Compile, transform, execute (codegen backend) and model one
-    pipeline; failures come back as ``error`` candidates, never raise."""
+    pipeline.
+
+    Candidate-specific runtime failures (a transformed kernel that
+    faults, races or diverges when executed) come back as ``error``
+    candidates — they describe the candidate, and the failure reason is
+    surfaced on its ``search_candidate`` event.  Deterministic
+    toolchain failures re-raise instead: a
+    :class:`~repro.frontend.errors.FrontendError` or
+    :class:`~repro.ir.verifier.VerificationError` means a rule emitted
+    IR the compiler itself rejects — a rule bug that a serial rerun
+    would reproduce identically, never something to discard quietly
+    (mirrors the PR 4 parallel-engine contract).
+    ``KeyboardInterrupt``/``SystemExit`` always propagate.
+    """
+    from repro.frontend.errors import FrontendError
+    from repro.ir.verifier import VerificationError
+
     pipeline = tuple(pipeline)
     try:
         from repro.apps.harness import compile_app, execute_app
@@ -176,6 +210,8 @@ def evaluate_pipeline(
             )
             cost = estimate_cost(run.trace, device_name)
         return CandidateEval(app_id, pipeline, rewrites, cost.cycles, device_name)
+    except (FrontendError, VerificationError):
+        raise
     except Exception as exc:
         return CandidateEval(
             app_id,
@@ -232,8 +268,15 @@ def verify_pipeline(
     Gates, in order: the static race/divergence analyzer (a decided
     finding vetoes), three-backend trace + output bit-identity, and
     byte-identical outputs against the untransformed baseline.
+
+    Gate refusals come back as ``(False, reason)``; deterministic
+    compile/verifier errors re-raise (same contract as
+    :func:`evaluate_pipeline` — they are rule bugs, not gate verdicts)
+    and ``KeyboardInterrupt``/``SystemExit`` propagate untouched.
     """
     from repro.analysis import analyze_kernel
+    from repro.frontend.errors import FrontendError
+    from repro.ir.verifier import VerificationError
     from repro.apps.harness import compile_app, execute_app
     from repro.apps.registry import get_app
     from repro.parallel.diff import (
@@ -290,6 +333,8 @@ def verify_pipeline(
         )
     except DifferentialMismatch as exc:
         return False, f"differential: {exc}"
+    except (FrontendError, VerificationError):
+        raise
     except Exception as exc:
         return False, f"{type(exc).__name__}: {exc}"
     return True, ""
@@ -338,6 +383,21 @@ def search_app(app_id: str, options: SearchOptions, pool=None) -> AppSearchResul
     def payload(pipeline: Tuple[str, ...]):
         return (app_id, pipeline, options.scale, sample_groups, device_name)
 
+    # learned go/no-go pruning: load the committed (or configured) model
+    # and trace the baseline once for its reuse/divergence features —
+    # everything a candidate prediction needs besides statics
+    predictor = threshold = tune_ctx = None
+    if options.tune:
+        from repro.session import current_session
+        from repro.tune.features import app_kernel_context
+        from repro.tune.model import default_model_path, load_model
+
+        session = current_session()
+        model_path = session.get("tune_model") or default_model_path()
+        predictor = load_model(str(model_path))
+        threshold = float(session.get("tune_threshold"))
+        tune_ctx = app_kernel_context(app_id, options.scale, sample_groups)
+
     baseline = _eval_one(payload(()))
     if baseline.error:
         raise RuntimeError(
@@ -350,9 +410,12 @@ def search_app(app_id: str, options: SearchOptions, pool=None) -> AppSearchResul
         rewrites=[],
         cycles=baseline.cycles,
         kept=True,
+        error="",
     )
 
     kept_all: List[CandidateEval] = []
+    scored_all: List[CandidateEval] = []
+    pruned = 0
     frontier: List[CandidateEval] = [baseline]
     for _level in range(depth):
         extensions: List[Tuple[str, ...]] = []
@@ -363,7 +426,54 @@ def search_app(app_id: str, options: SearchOptions, pool=None) -> AppSearchResul
                 extensions.append(cand.pipeline + (name,))
         if not extensions:
             break
+        if predictor is not None:
+            # go/no-go gate, run before any scoring launch: static
+            # features are enough to drop extensions whose last rule
+            # rewrote nothing (the keep filter would discard them after
+            # paying for a full simulation), and the model votes on the
+            # rest.  Pruning shrinks the scoring queue only — it cannot
+            # admit a candidate, and winners are verified regardless.
+            from repro.tune.features import app_candidate_features
+
+            to_eval: List[Tuple[str, ...]] = []
+            for pipe in extensions:
+                feats, rewrites = app_candidate_features(
+                    tune_ctx, app_id, pipe, options.scale, device_name
+                )
+                if rewrites[-1] == 0:
+                    reason = "pruned: last rule rewrote nothing"
+                else:
+                    p_win = predictor.predict(feats)
+                    prune = p_win < threshold
+                    events.emit(
+                        "tune_predict",
+                        kernel=f"app:{app_id}",
+                        pipeline=list(pipe),
+                        p_win=p_win,
+                        threshold=threshold,
+                        prune=prune,
+                    )
+                    if not prune:
+                        to_eval.append(pipe)
+                        continue
+                    reason = (
+                        f"pruned: p_win={p_win:.4f} < threshold {threshold:g}"
+                    )
+                pruned += 1
+                events.emit(
+                    "search_candidate",
+                    app=app_id,
+                    pipeline=list(pipe),
+                    rewrites=list(rewrites),
+                    cycles=-1.0,
+                    kept=False,
+                    error=reason,
+                )
+            extensions = to_eval
+            if not extensions:
+                break
         evals = _fan_out([payload(p) for p in extensions], pool)
+        scored_all.extend(evals)
         kept: List[CandidateEval] = []
         for ev in evals:
             keep = not ev.error and bool(ev.rewrites) and ev.rewrites[-1] > 0
@@ -374,6 +484,9 @@ def search_app(app_id: str, options: SearchOptions, pool=None) -> AppSearchResul
                 rewrites=list(ev.rewrites),
                 cycles=ev.cycles if ev.cycles != _FAILED else -1.0,
                 kept=keep,
+                # why the candidate failed, "" when it evaluated cleanly
+                # (dropping a candidate must leave a visible reason)
+                error=ev.error,
             )
             if keep:
                 kept.append(ev)
@@ -413,6 +526,7 @@ def search_app(app_id: str, options: SearchOptions, pool=None) -> AppSearchResul
         cycles=winner.cycles,
         baseline_cycles=baseline.cycles,
         evaluated=len(kept_all) + 1,
+        pruned=pruned,
         verified=verified,
         wall_ms=wall * 1e3,
     )
@@ -425,6 +539,8 @@ def search_app(app_id: str, options: SearchOptions, pool=None) -> AppSearchResul
         verified=verified,
         rejected=tuple(rejected),
         wall_s=wall,
+        pruned=pruned,
+        candidates=tuple(scored_all),
     )
 
 
@@ -514,6 +630,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--workers", type=int, default=None,
                    help="process-pool width for candidate evaluation "
                    "(default: $REPRO_WORKERS, then 1)")
+    p.add_argument("--tune", action="store_true",
+                   help="prune candidates with the learned go/no-go "
+                   "predictor before trace-driven scoring (model from "
+                   "$REPRO_TUNE_MODEL, cut at $REPRO_TUNE_THRESHOLD; "
+                   "winners are verified identically either way)")
     p.add_argument("--golden", metavar="FILE", default=None,
                    help="compare the report against FILE (CI pinning); "
                    "with $REPRO_UPDATE_GOLDEN=1 or --update-golden, "
@@ -539,6 +660,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         sample_groups=args.sample_groups,
         device=args.device,
         workers=args.workers,
+        tune=args.tune,
     )
     with session_from_flags(args.config, args.trace_out) as session:
         with session.activate():
@@ -546,6 +668,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             report = render_search(run)
             update = args.update_golden or bool(session.get("update_golden"))
     print(report)
+    if args.tune:
+        for r in run.results:
+            print(f"# {r.app_id}: pruned {r.pruned} candidate(s) before "
+                  f"scoring, fully scored {len(r.candidates)}")
     for r in run.results:
         for line in r.rejected:
             print(f"# {r.app_id} rejected {line}")

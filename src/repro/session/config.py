@@ -52,7 +52,7 @@ class ConfigVar:
 
     name: str
     env: str
-    type: str  # 'str' | 'bool' | 'int'
+    type: str  # 'str' | 'bool' | 'int' | 'float'
     default: object
     doc: str
     choices: Optional[Tuple[str, ...]] = None
@@ -66,6 +66,14 @@ class ConfigVar:
             except ValueError:
                 raise ConfigError(
                     f"${self.env} must be a positive integer, got {raw!r}"
+                ) from None
+            return self._check(value, source=f"${self.env}")
+        if self.type == "float":
+            try:
+                value = float(raw)
+            except ValueError:
+                raise ConfigError(
+                    f"${self.env} must be a number, got {raw!r}"
                 ) from None
             return self._check(value, source=f"${self.env}")
         if self.type == "bool":
@@ -88,6 +96,12 @@ class ConfigVar:
                     f"{source}: {self.name} must be an int, got {value!r}"
                 )
             return self._check(value, source=source)
+        if self.type == "float":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigError(
+                    f"{source}: {self.name} must be a number, got {value!r}"
+                )
+            return self._check(float(value), source=source)
         if self.type == "bool":
             if not isinstance(value, bool):
                 raise ConfigError(
@@ -235,6 +249,26 @@ _VARS = (
         default="Fermi",
         choices=("SNB", "Nehalem", "MIC", "Fermi", "Kepler", "Tahiti"),
         doc="Device model whose predicted cycles score search candidates.",
+    ),
+    ConfigVar(
+        name="tune_model",
+        env="REPRO_TUNE_MODEL",
+        type="str",
+        default=None,
+        doc="Path of the serialized go/no-go autotuner model (repro tune "
+        "train); unset resolves to the committed artifact "
+        "tests/golden/tune_model.json.",
+    ),
+    ConfigVar(
+        name="tune_threshold",
+        env="REPRO_TUNE_THRESHOLD",
+        type="float",
+        default=0.25,
+        doc="Prune a search candidate when the predictor's win "
+        "probability falls below this value (0 never prunes, 1 prunes "
+        "everything the model is not certain about); the pruned "
+        "pipeline is skipped before trace-driven scoring, never "
+        "before verification.",
     ),
     ConfigVar(
         name="codegen_cache_dir",

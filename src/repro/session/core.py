@@ -375,6 +375,40 @@ class Session:
         with self.activate():
             return run_search(options)
 
+    def tune(self, action: str = "train", **kwargs):
+        """Drive the go/no-go autotuner (see :mod:`repro.tune`).
+
+        ``action="train"`` labels the corpus with the search's scoring
+        oracle and returns ``(tree, training_meta)`` —
+        ``session.tune("train", sources=("corpus",), fuzz_count=0)``;
+        pass ``out=`` to also write the sha256-versioned artifact.
+        ``action="predict"`` returns the loaded
+        :class:`~repro.tune.model.TunePredictor` for the session's
+        ``tune_model`` (or the committed default artifact).
+        """
+        from repro.tune import label_corpus, train_model
+        from repro.tune.model import default_model_path, load_model, save_model
+
+        with self.activate():
+            if action == "predict":
+                if kwargs:
+                    raise TypeError(f"predict takes no kwargs, got {kwargs}")
+                path = self.get("tune_model") or default_model_path()
+                return load_model(str(path))
+            if action != "train":
+                raise ValueError(f"unknown tune action {action!r}")
+            out = kwargs.pop("out", None)
+            fit = {
+                k: kwargs.pop(k)
+                for k in ("train_sources", "max_depth", "min_leaf")
+                if k in kwargs
+            }
+            examples = label_corpus(**kwargs)
+            tree, meta = train_model(examples, **fit)
+            if out:
+                save_model(tree, str(out), training=meta)
+            return tree, meta
+
 
 #: activation stack; the top is what ``current_session()`` returns
 _STACK: List[Session] = []

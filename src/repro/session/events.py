@@ -245,10 +245,14 @@ EVENT_SCHEMA: Dict[str, Dict[str, Tuple[type, ...]]] = {
         "app": (str,),
         "pipeline": (list,),
         "rewrites": (list,),
-        # -1.0 for candidates whose evaluation failed
+        # -1.0 for candidates whose evaluation failed or was pruned
         "cycles": (int, float),
         # survived the keep filter (no error, last rule rewrote something)
         "kept": (bool,),
+        # "" when the candidate evaluated cleanly; the failure reason
+        # ("ExcType: message") when it raised, or "pruned: ..." when the
+        # learned go/no-go predictor skipped its full scoring
+        "error": (str,),
     },
     "search_verified": {
         "app": (str,),
@@ -263,8 +267,39 @@ EVENT_SCHEMA: Dict[str, Dict[str, Tuple[type, ...]]] = {
         "cycles": (int, float),
         "baseline_cycles": (int, float),
         "evaluated": (int,),
+        # candidates the go/no-go predictor skipped before scoring
+        # (always 0 when the search runs without --tune)
+        "pruned": (int,),
         "verified": (bool,),
         "wall_ms": (int, float),
+    },
+    # -- learned go/no-go autotuner (repro tune) ----------------------------
+    "tune_label": {
+        # "app:NVD-MT" / "corpus:fuzz_....cl" / "fuzz:<seed>:<index>"
+        "kernel": (str,),
+        "pipeline": (list,),
+        "device": (str,),
+        # ground-truth go/no-go: modelled cycles strictly beat baseline
+        "win": (bool,),
+        "cycles": (int, float),
+        "baseline_cycles": (int, float),
+    },
+    "tune_train": {
+        "examples": (int,),
+        "features": (int,),
+        "depth": (int,),
+        # accuracy on the held-out Table III apps (-1.0: no holdout)
+        "holdout_accuracy": (int, float),
+        "sha256": (str,),
+        "wall_ms": (int, float),
+    },
+    "tune_predict": {
+        "kernel": (str,),
+        "pipeline": (list,),
+        "p_win": (int, float),
+        "threshold": (int, float),
+        # True: the search skips this candidate's trace-driven scoring
+        "prune": (bool,),
     },
     # -- experiment matrix --------------------------------------------------
     "matrix_start": {"apps": (list,), "devices": (list,), "workers": (int,)},

@@ -1,0 +1,126 @@
+"""Learned go/no-go autotuner for rewrite-rule decisions.
+
+The beam search (:mod:`repro.search`) scores every candidate pipeline
+with a trace-driven launch — exact, but the expensive part of the
+search.  This package learns to predict the *outcome* of that scoring
+(win / no-win against the default) from features that cost microseconds
+to extract: static IR counters, the baseline kernel's sampled-trace
+reuse profile, the pipeline's composition and the target device.  The
+search then skips the full scoring of candidates the model writes off.
+
+The predictor is an accelerator with no authority over correctness:
+pruning only removes candidates from the *scoring* queue, and every
+surviving winner still passes the analyzer veto and the three-backend
+differential verification, unchanged (DESIGN.md §16).
+
+* :mod:`repro.tune.features` — deterministic feature extraction;
+* :mod:`repro.tune.label`    — ground-truth labeling via the search's
+  own scoring oracle, fanned over the process pool;
+* :mod:`repro.tune.model`    — dependency-free CART training and the
+  sha256-versioned JSON artifact;
+* :mod:`repro.tune.cli`      — ``repro tune train | predict``.
+"""
+
+from repro.tune.features import (
+    KernelContext,
+    app_kernel_context,
+    candidate_features,
+    kernel_context,
+    static_features,
+    trace_features,
+    vectorize,
+)
+from repro.tune.label import (
+    DEFAULT_DEVICES,
+    LabeledExample,
+    enumerate_pipelines,
+    label_corpus,
+)
+from repro.tune.model import (
+    DecisionTree,
+    TunePredictor,
+    default_model_path,
+    load_model,
+    model_sha256,
+    save_model,
+    train_tree,
+)
+
+__all__ = [
+    "KernelContext",
+    "app_kernel_context",
+    "candidate_features",
+    "kernel_context",
+    "static_features",
+    "trace_features",
+    "vectorize",
+    "DEFAULT_DEVICES",
+    "LabeledExample",
+    "enumerate_pipelines",
+    "label_corpus",
+    "DecisionTree",
+    "TunePredictor",
+    "default_model_path",
+    "load_model",
+    "model_sha256",
+    "save_model",
+    "train_tree",
+    "train_model",
+]
+
+
+def train_model(examples, train_sources=("corpus", "fuzz"), max_depth=6,
+                min_leaf=5):
+    """Fit the go/no-go tree on the ``train_sources`` examples and
+    measure accuracy on the rest (the held-out apps by default).
+
+    Returns ``(tree, training_meta)`` where ``training_meta`` is the
+    provenance dict :func:`repro.tune.model.save_model` embeds — example
+    counts per source, fit parameters, and the holdout accuracy plus
+    winner recall (the fraction of true winners the model would keep at
+    a given probability cut, the number that matters for pruning).
+    """
+    import numpy as np
+
+    from repro.tune.features import vectorize
+    from repro.tune.model import train_tree
+
+    train = [e for e in examples if e.source in train_sources]
+    holdout = [e for e in examples if e.source not in train_sources]
+    if not train:
+        raise ValueError(
+            f"no training examples from sources {tuple(train_sources)}"
+        )
+    names = sorted({k for e in train for k in e.features})
+    X = np.stack([vectorize(e.features, names) for e in train])
+    y = np.array([1.0 if e.win else 0.0 for e in train])
+    tree = train_tree(X, y, names, max_depth=max_depth, min_leaf=min_leaf)
+
+    meta = {
+        "examples": len(train),
+        "wins": int(y.sum()),
+        "sources": {
+            s: sum(1 for e in train if e.source == s)
+            for s in sorted({e.source for e in train})
+        },
+        "max_depth": max_depth,
+        "min_leaf": min_leaf,
+        "holdout": {},
+    }
+    if holdout:
+        probs = [tree.predict_proba(vectorize(e.features, names))
+                 for e in holdout]
+        correct = sum(
+            1 for p, e in zip(probs, holdout) if (p >= 0.5) == e.win
+        )
+        winners = [p for p, e in zip(probs, holdout) if e.win]
+        meta["holdout"] = {
+            "examples": len(holdout),
+            "accuracy": correct / len(holdout),
+            "winner_recall_at_0.25": (
+                sum(1 for p in winners if p >= 0.25) / len(winners)
+                if winners else 1.0
+            ),
+            "kernels": sorted({e.kernel_id for e in holdout}),
+        }
+    return tree, meta

@@ -1,0 +1,198 @@
+"""``repro tune`` — train and query the go/no-go autotuner.
+
+``repro tune train`` labels the corpus with the search's own scoring
+oracle, fits the deterministic decision tree, and writes the
+sha256-versioned artifact (``--out``, default the committed
+``tests/golden/tune_model.json``)::
+
+    python -m repro.cli tune train --out tests/golden/tune_model.json \\
+        --fuzz-count 12 --workers 4
+
+``repro tune predict`` scores one candidate with a trained model::
+
+    python -m repro.cli tune predict --app NVD-MT \\
+        --pipeline pad-local-arrays --device Fermi
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.session import events
+from repro.tune.label import DEFAULT_DEVICES, DEFAULT_FUZZ_SEED
+
+__all__ = ["main"]
+
+
+def _train(args, session) -> int:
+    from repro.tune import label_corpus, train_model
+    from repro.tune.model import default_model_path, save_model
+
+    t0 = time.perf_counter()
+    sources = tuple(s.strip() for s in args.sources.split(",") if s.strip())
+    devices = tuple(d.strip() for d in args.devices.split(",") if d.strip())
+    apps = tuple(a.strip() for a in args.apps.split(",") if a.strip()) or None
+    examples = label_corpus(
+        sources=sources,
+        depth=args.depth,
+        scale=args.scale,
+        sample_groups=args.sample_groups,
+        devices=devices,
+        fuzz_seed=args.fuzz_seed,
+        fuzz_count=args.fuzz_count,
+        workers=args.workers if args.workers is not None
+        else int(session.get("workers")),
+        apps=apps,
+    )
+    train_sources = tuple(
+        s.strip() for s in args.train_sources.split(",") if s.strip()
+    )
+    tree, meta = train_model(
+        examples,
+        train_sources=train_sources,
+        max_depth=args.max_depth,
+        min_leaf=args.min_leaf,
+    )
+    meta["labeling"] = {
+        "sources": list(sources),
+        "devices": list(devices),
+        "depth": args.depth,
+        "scale": args.scale,
+        "sample_groups": args.sample_groups,
+        "fuzz_seed": args.fuzz_seed,
+        "fuzz_count": args.fuzz_count,
+    }
+    out_path = args.out or default_model_path()
+    payload = save_model(tree, out_path, training=meta)
+    holdout = meta.get("holdout") or {}
+    events.emit(
+        "tune_train",
+        examples=meta["examples"],
+        features=len(tree.feature_names),
+        depth=tree.depth,
+        holdout_accuracy=float(holdout.get("accuracy", -1.0)),
+        sha256=payload["sha256"],
+        wall_ms=(time.perf_counter() - t0) * 1e3,
+    )
+    print(f"# trained on {meta['examples']} examples "
+          f"({meta['wins']} wins) from {meta['sources']}")
+    print(f"# {len(tree.feature_names)} features, tree depth {tree.depth}")
+    if holdout:
+        print(f"# holdout ({holdout['examples']} app examples): "
+              f"accuracy {holdout['accuracy']:.3f}, winner recall at 0.25 "
+              f"{holdout['winner_recall_at_0.25']:.3f}")
+    print(f"# model written: {out_path} (sha256 {payload['sha256'][:16]}...)")
+    return 0
+
+
+def _predict(args, session) -> int:
+    from repro.search.engine import _apply_pipeline
+    from repro.apps.harness import compile_app
+    from repro.apps.registry import get_app
+    from repro.session import Session
+    from repro.tune.features import app_kernel_context, candidate_features
+    from repro.tune.model import default_model_path, load_model
+
+    path = args.model or session.get("tune_model") or default_model_path()
+    try:
+        predictor = load_model(str(path))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    threshold = float(session.get("tune_threshold"))
+    pipeline = tuple(p.strip() for p in args.pipeline.split(",") if p.strip())
+    if not pipeline:
+        print("error: --pipeline must name at least one rule", file=sys.stderr)
+        return 1
+
+    ctx = app_kernel_context(args.app, args.scale, args.sample_groups)
+    app = get_app(args.app)
+    problem = app.make_problem(args.scale)
+    with Session(env={}, workers=1, exec_backend="codegen").activate():
+        kernel, _ = compile_app(app, "with")
+        rewrites = _apply_pipeline(kernel, pipeline, problem.local_size)
+    feats = candidate_features(ctx, kernel, pipeline, rewrites, args.device)
+    p_win = predictor.predict(feats)
+    prune = p_win < threshold
+    events.emit(
+        "tune_predict",
+        kernel=f"app:{args.app}",
+        pipeline=list(pipeline),
+        p_win=p_win,
+        threshold=threshold,
+        prune=prune,
+    )
+    verdict = "no-go (search would prune)" if prune else "go"
+    print(f"{args.app} × {' -> '.join(pipeline)} on {args.device}: "
+          f"p(win) = {p_win:.4f} vs threshold {threshold} — {verdict}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from repro.cli import add_session_flags
+    from repro.session import session_from_flags
+
+    p = argparse.ArgumentParser(
+        prog="repro tune",
+        description="Train and query the learned go/no-go predictor "
+        "that prunes rewrite-pipeline search candidates before their "
+        "trace-driven scoring (winners are still fully verified).",
+    )
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    t = sub.add_parser("train", help="label the corpus and fit the model")
+    t.add_argument("--out", default=None,
+                   help="artifact path (default: tests/golden/tune_model.json)")
+    t.add_argument("--sources", default="app,corpus,fuzz",
+                   help="comma-separated label sources (app, corpus, fuzz)")
+    t.add_argument("--train-sources", default="corpus,fuzz",
+                   help="sources the tree is fitted on; the rest are the "
+                   "held-out accuracy set (default holds the apps out)")
+    t.add_argument("--apps", default="",
+                   help="restrict the app source to these ids "
+                   "(default: every Table III app)")
+    t.add_argument("--depth", type=int, default=2,
+                   help="max pipeline length labeled per kernel")
+    t.add_argument("--scale", default="test", help="app problem scale")
+    t.add_argument("--sample-groups", type=int, default=8,
+                   help="traced groups per app scoring launch")
+    t.add_argument("--devices", default=",".join(DEFAULT_DEVICES),
+                   help="devices labels are computed for")
+    t.add_argument("--fuzz-seed", type=int, default=DEFAULT_FUZZ_SEED,
+                   help="root seed of the freshly generated kernels")
+    t.add_argument("--fuzz-count", type=int, default=12,
+                   help="freshly generated fuzz kernels to label")
+    t.add_argument("--max-depth", type=int, default=6,
+                   help="decision-tree depth limit")
+    t.add_argument("--min-leaf", type=int, default=5,
+                   help="minimum examples per tree leaf")
+    t.add_argument("--workers", type=int, default=None,
+                   help="labeling process-pool width "
+                   "(default: $REPRO_WORKERS, then 1)")
+    add_session_flags(t)
+
+    q = sub.add_parser("predict", help="score one app × pipeline candidate")
+    q.add_argument("--app", required=True, help="Table III app id")
+    q.add_argument("--pipeline", required=True,
+                   help="comma-separated rule names")
+    q.add_argument("--device", default="Fermi")
+    q.add_argument("--scale", default="test")
+    q.add_argument("--sample-groups", type=int, default=8)
+    q.add_argument("--model", default=None,
+                   help="artifact path (default: $REPRO_TUNE_MODEL, then "
+                   "the committed tests/golden/tune_model.json)")
+    add_session_flags(q)
+
+    args = p.parse_args(argv)
+    with session_from_flags(args.config, args.trace_out) as session:
+        with session.activate():
+            if args.cmd == "train":
+                return _train(args, session)
+            return _predict(args, session)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

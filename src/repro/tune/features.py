@@ -1,0 +1,351 @@
+"""Deterministic feature vectors for the go/no-go autotuner.
+
+A feature vector describes one *candidate*: a kernel, a rewrite-rule
+pipeline, and the device model that would score it.  Everything in the
+vector is derived from two architecture-independent sources —
+
+* a **sampled memory trace of the untransformed kernel** (the baseline
+  the search executes anyway): reuse-distance histograms computed with
+  the same stack-distance machinery the fast cache simulator runs on
+  (:func:`repro.perf.fastcache.lru_hits` at power-of-two
+  associativities, fully associative), access entropy over cache
+  lines, local/global traffic ratios, branch-divergence fractions and
+  barrier-phase counts;
+* **static IR features** of the baseline and the candidate-transformed
+  kernel: the shared :func:`repro.rules.base.base_features` counters,
+  simple control-flow counts, every registered rule's ``cost_features``,
+  and the baseline→candidate deltas.
+
+plus the pipeline's own composition (which rules, in what order, how
+many rewrites each made) and a one-hot of the scoring device.  No
+feature reads a clock, the host architecture, or random state — the
+same kernel, pipeline and device always produce the byte-identical
+vector (pinned by ``tests/test_tune_determinism.py``), which is what
+lets the committed model artifact reproduce across machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ir.function import Function
+from repro.ir.types import AddressSpace
+from repro.runtime.trace import KernelTrace
+
+__all__ = [
+    "LINE_BYTES",
+    "REUSE_BUCKETS",
+    "KernelContext",
+    "static_features",
+    "trace_features",
+    "kernel_context",
+    "app_kernel_context",
+    "candidate_features",
+    "app_candidate_features",
+    "vectorize",
+]
+
+#: cache-line granularity of the reuse-distance histogram — the L1 line
+#: size shared by every modelled device
+LINE_BYTES = 64
+
+#: stack-distance thresholds of the reuse histogram buckets; bucket k
+#: counts accesses whose distance lies in [REUSE_BUCKETS[k-1],
+#: REUSE_BUCKETS[k]) distinct lines (the first bucket is distance 0,
+#: i.e. an immediately repeated line)
+REUSE_BUCKETS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+@dataclass(frozen=True)
+class KernelContext:
+    """Baseline-derived features, computed once per kernel.
+
+    ``static`` describes the untransformed IR, ``trace`` its sampled
+    execution; every candidate pipeline of the kernel shares them.
+    """
+
+    static: Dict[str, float]
+    trace: Dict[str, float]
+    local_size: Optional[Tuple[int, ...]] = None
+
+
+# ---------------------------------------------------------------------------
+# static IR features
+# ---------------------------------------------------------------------------
+
+
+def static_features(fn: Function, local_size=None) -> Dict[str, float]:
+    """Architecture-independent static description of one kernel.
+
+    The shared ``base_features`` counters, coarse control-flow counts,
+    and every registered rule's ``cost_features`` (rule-specific keys
+    only — the base counters are already present once).
+    """
+    from repro.ir.instructions import CondBr
+    from repro.rules import RuleContext, get_rule, rule_names
+    from repro.rules.base import base_features
+
+    base = base_features(fn)
+    feats = {f"ir:{k}": float(v) for k, v in base.items()}
+
+    n_insts = 0
+    n_condbr = 0
+    for inst in fn.instructions():
+        n_insts += 1
+        if isinstance(inst, CondBr):
+            n_condbr += 1
+    feats["ir:blocks"] = float(len(fn.blocks))
+    feats["ir:insts"] = float(n_insts)
+    feats["ir:cond_branches"] = float(n_condbr)
+
+    ctx = RuleContext(local_size=tuple(local_size) if local_size else None)
+    for name in rule_names():
+        for k, v in sorted(get_rule(name).cost_features(fn, ctx).items()):
+            if k in base:
+                continue  # shared counters, recorded once above
+            feats[f"rule:{name}:{k}"] = float(v)
+    return feats
+
+
+# ---------------------------------------------------------------------------
+# trace features (baseline sampled execution)
+# ---------------------------------------------------------------------------
+
+
+def _reuse_histogram(lines: np.ndarray) -> Dict[str, float]:
+    """Normalized stack-distance histogram of a line-id stream.
+
+    ``lru_hits(lines, n_sets=1, assoc=A)`` marks exactly the accesses
+    whose fully-associative stack distance is below ``A`` — so the
+    cumulative counts at power-of-two associativities difference into
+    the histogram, reusing the fast cache simulator's vectorised
+    machinery instead of a sequential LRU walk.
+    """
+    from repro.perf.fastcache import lru_hits
+
+    n = len(lines)
+    out: Dict[str, float] = {}
+    if n == 0:
+        for k, hi in enumerate(REUSE_BUCKETS):
+            out[f"trace:reuse:lt{hi}"] = 0.0
+        out["trace:reuse:far"] = 0.0
+        out["trace:reuse:cold"] = 0.0
+        return out
+    distinct = len(np.unique(lines))
+    cum = [int(lru_hits(lines, 1, a).sum()) for a in REUSE_BUCKETS]
+    # every access with a previous occurrence hits a cache with one set
+    # and as many ways as there are distinct lines
+    with_prev = int(lru_hits(lines, 1, max(distinct, 1)).sum())
+    prev = 0
+    for hi, c in zip(REUSE_BUCKETS, cum):
+        out[f"trace:reuse:lt{hi}"] = (c - prev) / n
+        prev = c
+    out["trace:reuse:far"] = (with_prev - cum[-1]) / n
+    out["trace:reuse:cold"] = (n - with_prev) / n
+    return out
+
+
+def _entropy(lines: np.ndarray) -> float:
+    """Shannon entropy of the line-id distribution, normalized to
+    [0, 1] by the maximum (uniform over the distinct lines)."""
+    if len(lines) == 0:
+        return 0.0
+    _, counts = np.unique(lines, return_counts=True)
+    if len(counts) <= 1:
+        return 0.0
+    p = counts / counts.sum()
+    h = float(-(p * np.log2(p)).sum())
+    return h / float(np.log2(len(counts)))
+
+
+def trace_features(trace: KernelTrace) -> Dict[str, float]:
+    """Features of the baseline kernel's sampled memory trace.
+
+    Per-group features are averaged over the sampled groups in trace
+    order (sampled groups of a homogeneous kernel are near-identical,
+    so the mean is a stable per-group description, independent of how
+    many groups were sampled).
+    """
+    per_group: List[Dict[str, float]] = []
+    for gt in trace.groups:
+        g: Dict[str, float] = {}
+        stream = gt.serialized((AddressSpace.GLOBAL,))
+        lines = stream.line_ids(LINE_BYTES)
+        g.update(_reuse_histogram(lines))
+        g["trace:entropy"] = _entropy(lines)
+
+        loc = glob = loc_bytes = glob_bytes = stores = 0
+        partial = 0
+        active = 0.0
+        n_events = 0
+        lines_per_access = 0.0
+        n_global_events = 0
+        max_phase = 0
+        for e in gt.iter_events():
+            n_events += 1
+            cnt = e.count
+            nbytes = cnt * e.elem_size
+            if e.space == AddressSpace.LOCAL:
+                loc += cnt
+                loc_bytes += nbytes
+            elif e.space == AddressSpace.GLOBAL:
+                glob += cnt
+                glob_bytes += nbytes
+                if cnt:
+                    n_global_events += 1
+                    lines_per_access += (
+                        len(np.unique(np.asarray(e.offsets) // LINE_BYTES))
+                        / cnt
+                    )
+            if e.is_store:
+                stores += cnt
+            if gt.work_items:
+                active += cnt / gt.work_items
+                if cnt < gt.work_items:
+                    partial += 1
+            if e.phase > max_phase:
+                max_phase = e.phase
+
+        total = loc + glob
+        g["trace:accesses"] = float(total)
+        g["trace:local_fraction"] = loc / total if total else 0.0
+        g["trace:local_over_global"] = loc / glob if glob else 0.0
+        g["trace:store_fraction"] = stores / total if total else 0.0
+        g["trace:bytes_per_item"] = (
+            (loc_bytes + glob_bytes) / gt.work_items if gt.work_items else 0.0
+        )
+        g["trace:divergent_fraction"] = partial / n_events if n_events else 0.0
+        g["trace:mean_active_fraction"] = active / n_events if n_events else 0.0
+        g["trace:lines_per_global_access"] = (
+            lines_per_access / n_global_events if n_global_events else 0.0
+        )
+        g["trace:barriers"] = float(gt.barriers)
+        g["trace:phases"] = float(max_phase + 1)
+        g["trace:insts_per_item"] = (
+            gt.inst_count / gt.work_items if gt.work_items else 0.0
+        )
+        per_group.append(g)
+
+    if not per_group:
+        return {}
+    keys = sorted(per_group[0])
+    return {
+        k: float(np.mean([g[k] for g in per_group], dtype=np.float64))
+        for k in keys
+    }
+
+
+def kernel_context(
+    kernel: Function,
+    trace: KernelTrace,
+    local_size=None,
+) -> KernelContext:
+    """Bundle the once-per-kernel baseline features."""
+    return KernelContext(
+        static=static_features(kernel, local_size),
+        trace=trace_features(trace),
+        local_size=tuple(local_size) if local_size else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# candidate assembly
+# ---------------------------------------------------------------------------
+
+
+def candidate_features(
+    ctx: KernelContext,
+    transformed: Function,
+    pipeline: Sequence[str],
+    rewrites: Sequence[int],
+    device_name: str,
+) -> Dict[str, float]:
+    """The full feature vector of one (kernel, pipeline, device)
+    candidate; ``transformed`` is the kernel after the pipeline ran."""
+    from repro.perf.devices import DEVICES, device
+    from repro.rules import rule_names
+
+    feats: Dict[str, float] = {}
+    feats.update({f"base:{k[3:]}" if k.startswith("ir:") else f"base:{k}": v
+                  for k, v in ctx.static.items()})
+    feats.update(ctx.trace)
+
+    after = static_features(transformed, ctx.local_size)
+    feats.update(after)
+    for k, v in after.items():
+        if k.startswith("ir:"):
+            feats[f"delta:{k[3:]}"] = v - ctx.static.get(k, 0.0)
+
+    pipeline = tuple(pipeline)
+    rewrites = tuple(int(r) for r in rewrites)
+    feats["pipe:len"] = float(len(pipeline))
+    feats["pipe:rewrites_total"] = float(sum(rewrites))
+    for name in rule_names():
+        feats[f"pipe:{name}"] = 1.0 if name in pipeline else 0.0
+        feats[f"pipe:rewrites:{name}"] = 0.0
+    for name, n in zip(pipeline, rewrites):
+        feats[f"pipe:rewrites:{name}"] = float(n)
+
+    for name in sorted(DEVICES):
+        feats[f"dev:{name}"] = 1.0 if name == device_name else 0.0
+    feats["dev:is_gpu"] = 1.0 if device(device_name).is_gpu else 0.0
+    return feats
+
+
+def app_kernel_context(
+    app_id: str, scale: str = "test", sample_groups: int = 8
+) -> KernelContext:
+    """Baseline context of one Table III app: compile the untransformed
+    kernel and trace a sampled launch in an environment-isolated
+    session (the same isolation the search's scoring uses)."""
+    from repro.apps.harness import compile_app, execute_app
+    from repro.apps.registry import get_app
+    from repro.session import Session
+
+    app = get_app(app_id)
+    problem = app.make_problem(scale)
+    with Session(env={}, workers=1, exec_backend="codegen").activate():
+        kernel, _ = compile_app(app, "with")
+        run = execute_app(
+            app, kernel, variant="with", scale=scale, collect_trace=True,
+            sample_groups=sample_groups, workers=1,
+        )
+        return kernel_context(kernel, run.trace, problem.local_size)
+
+
+def app_candidate_features(
+    ctx: KernelContext,
+    app_id: str,
+    pipeline: Sequence[str],
+    scale: str,
+    device_name: str,
+) -> Tuple[Dict[str, float], Tuple[int, ...]]:
+    """Features of one app × pipeline candidate, computed *without*
+    executing it: fresh compile, apply the pipeline, extract statics.
+    Returns ``(features, per-rule rewrite counts)``."""
+    from repro.apps.harness import compile_app
+    from repro.apps.registry import get_app
+    from repro.search.engine import _apply_pipeline
+    from repro.session import Session
+
+    app = get_app(app_id)
+    problem = app.make_problem(scale)
+    with Session(env={}, workers=1, exec_backend="codegen").activate():
+        kernel, _ = compile_app(app, "with")
+        rewrites = _apply_pipeline(kernel, pipeline, problem.local_size)
+    return (
+        candidate_features(ctx, kernel, pipeline, rewrites, device_name),
+        rewrites,
+    )
+
+
+def vectorize(
+    feats: Dict[str, float], names: Sequence[str]
+) -> np.ndarray:
+    """Project a feature dict onto a fixed name order (the model's);
+    features the dict lacks read as 0.0, unknown extras are ignored —
+    both directions keep old models usable as the feature set grows."""
+    return np.array([float(feats.get(n, 0.0)) for n in names], dtype=np.float64)

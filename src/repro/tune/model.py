@@ -1,0 +1,294 @@
+"""A dependency-free, deterministic decision-tree go/no-go predictor.
+
+The model answers one question: *given this kernel, this rewrite
+pipeline and this device, is the pipeline likely to beat the default?*
+It is a plain CART classifier fitted with numpy only — no sklearn, no
+randomness: splits are chosen by exact Gini impurity over midpoint
+thresholds, ties broken by (lowest feature index, lowest threshold), so
+fitting the same examples always yields the byte-identical tree.
+
+Serialization is a JSON artifact whose ``sha256`` field hashes the
+canonical dump of everything else in it; :func:`load_model` refuses a
+tampered or truncated file.  The artifact embeds its feature-name
+order, training provenance and held-out accuracy, and is committed
+under ``tests/golden/`` so CI can retrain and compare.
+
+The predictor is an *accelerator*: the search uses it to skip the full
+trace-driven scoring of candidates predicted to lose.  It never
+overrides verification — every surviving winner still passes the
+analyzer veto and the three-backend differential gates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "FORMAT",
+    "DecisionTree",
+    "TunePredictor",
+    "train_tree",
+    "save_model",
+    "load_model",
+    "model_sha256",
+    "default_model_path",
+]
+
+FORMAT = "repro-tune-model"
+_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# CART fitting
+# ---------------------------------------------------------------------------
+
+
+def _gini(pos: float, n: float) -> float:
+    if n <= 0:
+        return 0.0
+    p = pos / n
+    return 2.0 * p * (1.0 - p)
+
+
+def _best_split(X: np.ndarray, y: np.ndarray, min_leaf: int):
+    """The (feature, threshold) minimizing weighted Gini, or ``None``.
+
+    Scans features in index order and thresholds ascending; a split is
+    taken only when strictly better than the best so far, which makes
+    the choice independent of dict/iteration quirks — first-best wins.
+    """
+    n = len(y)
+    pos_total = float(y.sum())
+    parent = _gini(pos_total, n)
+    best = None
+    best_score = parent - 1e-12  # must strictly improve
+    for f in range(X.shape[1]):
+        col = X[:, f]
+        order = np.argsort(col, kind="stable")
+        cs = col[order]
+        ys = y[order]
+        # candidate cut positions: between distinct consecutive values
+        diff = np.nonzero(cs[1:] > cs[:-1])[0]
+        if len(diff) == 0:
+            continue
+        cum_pos = np.cumsum(ys, dtype=np.float64)
+        for i in diff:
+            nl = int(i) + 1
+            nr = n - nl
+            if nl < min_leaf or nr < min_leaf:
+                continue
+            pl = float(cum_pos[i])
+            pr = pos_total - pl
+            score = (nl * _gini(pl, nl) + nr * _gini(pr, nr)) / n
+            if score < best_score:
+                best_score = score
+                thr = float(cs[i] + cs[i + 1]) / 2.0
+                best = (f, thr)
+    return best
+
+
+def _fit_node(
+    X: np.ndarray,
+    y: np.ndarray,
+    depth: int,
+    max_depth: int,
+    min_leaf: int,
+) -> Dict:
+    n = len(y)
+    pos = int(y.sum())
+    if depth >= max_depth or n < 2 * min_leaf or pos == 0 or pos == n:
+        return {"leaf": {"p": pos / n if n else 0.0, "n": n}}
+    split = _best_split(X, y, min_leaf)
+    if split is None:
+        return {"leaf": {"p": pos / n, "n": n}}
+    f, thr = split
+    mask = X[:, f] <= thr
+    return {
+        "split": {
+            "feature": f,
+            "threshold": thr,
+            "left": _fit_node(X[mask], y[mask], depth + 1, max_depth, min_leaf),
+            "right": _fit_node(X[~mask], y[~mask], depth + 1, max_depth, min_leaf),
+        }
+    }
+
+
+def _node_depth(node: Dict) -> int:
+    if "leaf" in node:
+        return 0
+    s = node["split"]
+    return 1 + max(_node_depth(s["left"]), _node_depth(s["right"]))
+
+
+@dataclass(frozen=True)
+class DecisionTree:
+    """A fitted tree: feature-name order plus the nested node dict
+    (split nodes reference features *by name* in the serialized form,
+    by index in memory)."""
+
+    feature_names: Sequence[str]
+    root: Dict
+
+    def predict_proba(self, x: np.ndarray) -> float:
+        """Win probability for one vectorized candidate (the positive
+        fraction of the leaf it lands in)."""
+        node = self.root
+        while "split" in node:
+            s = node["split"]
+            node = s["left"] if x[s["feature"]] <= s["threshold"] else s["right"]
+        return float(node["leaf"]["p"])
+
+    @property
+    def depth(self) -> int:
+        return _node_depth(self.root)
+
+
+def train_tree(
+    X: np.ndarray,
+    y: np.ndarray,
+    feature_names: Sequence[str],
+    max_depth: int = 6,
+    min_leaf: int = 5,
+) -> DecisionTree:
+    """Fit a deterministic CART classifier; ``y`` holds {0, 1} labels."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if X.ndim != 2 or X.shape[1] != len(feature_names):
+        raise ValueError(
+            f"X shape {X.shape} does not match {len(feature_names)} features"
+        )
+    if len(X) != len(y):
+        raise ValueError(f"{len(X)} rows vs {len(y)} labels")
+    if len(X) == 0:
+        raise ValueError("cannot train on zero examples")
+    root = _fit_node(X, y, 0, max_depth, min_leaf)
+    return DecisionTree(tuple(feature_names), root)
+
+
+# ---------------------------------------------------------------------------
+# serialization (sha256-versioned JSON)
+# ---------------------------------------------------------------------------
+
+
+def _name_nodes(node: Dict, names: Sequence[str]) -> Dict:
+    if "leaf" in node:
+        return {"leaf": dict(node["leaf"])}
+    s = node["split"]
+    return {
+        "split": {
+            "feature": names[s["feature"]],
+            "threshold": s["threshold"],
+            "left": _name_nodes(s["left"], names),
+            "right": _name_nodes(s["right"], names),
+        }
+    }
+
+
+def _index_nodes(node: Dict, index: Dict[str, int]) -> Dict:
+    if "leaf" in node:
+        return {"leaf": dict(node["leaf"])}
+    s = node["split"]
+    return {
+        "split": {
+            "feature": index[s["feature"]],
+            "threshold": s["threshold"],
+            "left": _index_nodes(s["left"], index),
+            "right": _index_nodes(s["right"], index),
+        }
+    }
+
+
+def model_sha256(payload: Dict) -> str:
+    """Digest of the canonical dump of everything but the hash itself."""
+    body = {k: v for k, v in payload.items() if k != "sha256"}
+    canon = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+def save_model(
+    tree: DecisionTree,
+    path: str,
+    training: Optional[Dict] = None,
+) -> Dict:
+    """Write the versioned artifact; returns the payload written."""
+    payload: Dict = {
+        "format": FORMAT,
+        "version": _VERSION,
+        "feature_names": list(tree.feature_names),
+        "tree": _name_nodes(tree.root, list(tree.feature_names)),
+        "training": training or {},
+    }
+    payload["sha256"] = model_sha256(payload)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
+def load_model(path: str) -> "TunePredictor":
+    """Load and integrity-check an artifact; raises ``ValueError`` on a
+    wrong format, version or sha256 mismatch."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read tune model {path!r}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT:
+        raise ValueError(f"{path!r} is not a {FORMAT} artifact")
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"{path!r} has version {payload.get('version')!r}, "
+            f"expected {_VERSION}"
+        )
+    expect = payload.get("sha256")
+    actual = model_sha256(payload)
+    if expect != actual:
+        raise ValueError(
+            f"{path!r} failed integrity check: sha256 {actual} != "
+            f"recorded {expect}"
+        )
+    names = list(payload["feature_names"])
+    index = {n: i for i, n in enumerate(names)}
+    tree = DecisionTree(tuple(names), _index_nodes(payload["tree"], index))
+    return TunePredictor(tree=tree, payload=payload, path=path)
+
+
+def default_model_path() -> str:
+    """The committed artifact, resolved relative to the repo layout
+    (``tests/golden/tune_model.json`` two levels above ``src/``)."""
+    import os
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "tests", "golden", "tune_model.json")
+
+
+# ---------------------------------------------------------------------------
+# the predictor the search consumes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TunePredictor:
+    """A loaded model plus its provenance."""
+
+    tree: DecisionTree
+    payload: Dict
+    path: str
+
+    @property
+    def sha256(self) -> str:
+        return str(self.payload.get("sha256", ""))
+
+    def predict(self, feats: Dict[str, float]) -> float:
+        """Win probability of one candidate feature dict."""
+        from repro.tune.features import vectorize
+
+        return self.tree.predict_proba(
+            vectorize(feats, self.tree.feature_names)
+        )

@@ -280,6 +280,54 @@ def test_disk_cache_round_trip_and_corruption_recovery(tmp_path):
     assert_outputs_equal(ref_out, out, "healed disk hit")
 
 
+def test_publish_failure_leaves_no_temp_file_or_fd(tmp_path, monkeypatch):
+    """An interrupted artifact publish (rename fails) must clean up
+    after itself: no stray ``.cg_*`` temp file for later runs to trip
+    over, no leaked descriptor, and the launch itself still succeeds —
+    the disk tier is best-effort."""
+    from repro.runtime import codegen as cg
+
+    cache_dir = str(tmp_path / "cg")
+
+    # unit level: the failed publish raises, but the temp file and the
+    # fd it was written through are both gone
+    fds_before = len(os.listdir("/proc/self/fd"))
+    real_replace = os.replace
+
+    def broken_replace(src, dst, *a, **kw):
+        if ".cg_" in os.path.basename(src):
+            raise OSError("disk full")
+        return real_replace(src, dst, *a, **kw)
+
+    monkeypatch.setattr(os, "replace", broken_replace)
+    with pytest.raises(OSError):
+        cg._publish_artifact(cache_dir, "deadbeef" * 8, "x = 1\n")
+    assert os.listdir(cache_dir) == []
+    assert len(os.listdir("/proc/self/fd")) == fds_before
+
+    # launch level: the compile succeeds despite the failed publish
+    kernel = compile_kernel(_EVICT_SOURCE)
+    rng = np.random.default_rng(23)
+    data = rng.standard_normal(128).astype(np.float32)
+    spec = {"in": data}
+    outs = {"out": (np.float32, (128,))}
+    _, ref_out = _traced_launch(
+        kernel, spec, (128,), (16,), outs, backend="reference"
+    )
+    clear_codegen_cache()
+    sink, out = _launch_with_cache(kernel, spec, outs, cache_dir)
+    assert sink.of_kind("codegen_compile")
+    assert_outputs_equal(ref_out, out, "publish-failure compile")
+    assert os.listdir(cache_dir) == []  # nothing published, nothing leaked
+
+    # once the disk recovers, the next cold compile publishes normally
+    monkeypatch.setattr(os, "replace", real_replace)
+    clear_codegen_cache()
+    _launch_with_cache(kernel, spec, outs, cache_dir)
+    assert len(glob.glob(os.path.join(cache_dir, "cg_*.py"))) == 1
+    assert not glob.glob(os.path.join(cache_dir, ".cg_*"))
+
+
 def test_cache_key_separates_trace_and_traceless_modules(tmp_path):
     """collect_trace changes the generated module, so it must change
     the key — a traceless launch must not reuse a tracing artifact."""

@@ -75,6 +75,92 @@ def test_verify_rejects_broken_pipelines():
 
 
 # ---------------------------------------------------------------------------
+# error handling: what re-raises, what becomes an error candidate
+# ---------------------------------------------------------------------------
+
+
+class _StubRule:
+    """A rule whose apply() raises a chosen exception."""
+
+    name = "stub"
+    description = "test stub"
+
+    def __init__(self, exc):
+        self._exc = exc
+
+    def apply(self, kernel, ctx):
+        raise self._exc
+
+    def cost_features(self, kernel, ctx):
+        return {}
+
+
+def _install_stub_rule(monkeypatch, exc):
+    import repro.rules as rules_mod
+
+    real = rules_mod.get_rule
+
+    def fake(name):
+        if name == "stub":
+            return _StubRule(exc)
+        return real(name)
+
+    monkeypatch.setattr(rules_mod, "get_rule", fake)
+
+
+def test_evaluate_reraises_deterministic_toolchain_errors(monkeypatch):
+    """FrontendError/VerificationError mean a rule emitted IR the
+    toolchain rejects — a rule bug a serial rerun reproduces, never an
+    'error candidate' to score past quietly."""
+    from repro.frontend.errors import FrontendError
+    from repro.ir.verifier import VerificationError
+
+    _install_stub_rule(monkeypatch, VerificationError("stub broke the IR"))
+    with pytest.raises(VerificationError, match="stub broke the IR"):
+        evaluate_pipeline("NVD-MT", ("stub",), "test", 8, "Fermi")
+    with pytest.raises(VerificationError, match="stub broke the IR"):
+        verify_pipeline("NVD-MT", ("stub",), "test")
+
+    _install_stub_rule(monkeypatch, FrontendError("stub lowering bug"))
+    with pytest.raises(FrontendError, match="stub lowering bug"):
+        evaluate_pipeline("NVD-MT", ("stub",), "test", 8, "Fermi")
+
+
+def test_evaluate_keyboard_interrupt_propagates(monkeypatch):
+    _install_stub_rule(monkeypatch, KeyboardInterrupt())
+    with pytest.raises(KeyboardInterrupt):
+        evaluate_pipeline("NVD-MT", ("stub",), "test", 8, "Fermi")
+    with pytest.raises(KeyboardInterrupt):
+        verify_pipeline("NVD-MT", ("stub",), "test")
+
+
+def test_candidate_failure_reason_reaches_the_event(monkeypatch):
+    """A candidate-specific runtime failure becomes an error candidate,
+    and the search_candidate event carries the reason — dropping a
+    candidate must leave a visible trace of why."""
+    _install_stub_rule(monkeypatch, RuntimeError("transformed kernel faulted"))
+    ev = evaluate_pipeline("NVD-MT", ("stub",), "test", 8, "Fermi")
+    assert ev.error == "RuntimeError: transformed kernel faulted"
+    assert ev.cycles == float("inf")
+
+    with events.collect() as sink:
+        r = _search(depth=1, rules=("stub",))
+    # the search survives (winner falls back to the default pipeline)
+    assert r.winner.pipeline == ()
+    failed = [
+        e for e in sink.of_kind("search_candidate")
+        if e.payload["pipeline"] == ["stub"]
+    ]
+    assert failed
+    assert failed[0].payload["kept"] is False
+    assert failed[0].payload["error"] == (
+        "RuntimeError: transformed kernel faulted"
+    )
+    for e in sink.events:
+        validate_event(e.kind, e.payload)
+
+
+# ---------------------------------------------------------------------------
 # the search proper
 # ---------------------------------------------------------------------------
 
@@ -181,13 +267,28 @@ def test_session_search_entry_point():
 def test_bench_search_tier():
     from repro.perf.bench import SCHEMA_VERSION, bench_search
 
-    assert SCHEMA_VERSION == 5
+    assert SCHEMA_VERSION == 6
     with Session(env={}, search_depth=1).activate():
         out = bench_search(("NVD-MT",), workers=1)
     entry = out["apps"]["NVD-MT"]
     assert entry["searched_cycles"] <= entry["default_cycles"]
     assert isinstance(entry["pipeline"], list)
     assert entry["device"] == "Fermi"
+
+
+def test_bench_tune_tier():
+    from repro.perf.bench import bench_tune
+
+    with Session(env={}, search_depth=1).activate():
+        out = bench_tune(("NVD-MT",), workers=1)
+    entry = out["apps"]["NVD-MT"]
+    assert entry["verified"] is True
+    assert entry["pruned"] > 0
+    assert entry["scored_tuned"] < entry["scored_unpruned"]
+    assert 0.0 <= entry["prediction_accuracy"] <= 1.0
+    assert out["model_sha256"]
+    assert out["threshold"] == 0.25
+    assert out["pruned"] == entry["pruned"]
 
 
 def test_cli_passes_lists_rule_metadata(capsys):

@@ -115,6 +115,73 @@ def test_adopt_skips_empty_and_none_traces():
     assert store.spill_count == 0 and store.resident_bytes == 0
 
 
+def test_close_releases_the_spill_file_and_is_idempotent():
+    g = _group(0, n_events=3, n_lanes=8)
+    store = TraceSpillStore(limit_bytes=1, kernel="unit")
+    store.adopt_group_lists({0: g})  # over the mark: file created
+    assert store._file is not None and not store.closed
+    store.close()
+    store.close()  # idempotent
+    assert store.closed and store._file is None
+    # a closed store refuses both directions
+    with pytest.raises(RuntimeError, match="closed"):
+        list(g.iter_events())
+    with pytest.raises(RuntimeError, match="closed"):
+        store.adopt_group_lists({0: _group(1, n_events=3, n_lanes=8)})
+
+
+def _deleted_tmp_fds() -> set:
+    """fd numbers holding anonymous (deleted) temp files — what a
+    leaked ``TemporaryFile`` looks like on Linux."""
+    import os
+
+    out = set()
+    for fd in os.listdir("/proc/self/fd"):
+        try:
+            target = os.readlink(f"/proc/self/fd/{fd}")
+        except OSError:
+            continue
+        if "(deleted)" in target:
+            out.add(fd)
+    return out
+
+
+_FAULTY_SPILL_SOURCE = r"""
+__kernel void faulty(__global float* out, __global const float* in, int P)
+{
+    int gi = get_global_id(0);
+    float acc = 0.0f;
+    for (int i = 0; i < 256; i++) {
+        acc += in[(gi + i) % 1024];
+    }
+    out[gi * P] = acc;
+}
+"""
+
+
+def test_failed_launch_closes_the_spill_fd():
+    """A launch that faults after spilling must not leave the store's
+    anonymous spill fd open until garbage collection: ``launch()``'s
+    exception path closes the store eagerly (trace of a failed launch
+    is never returned), pinned here by scanning ``/proc/self/fd``."""
+    from repro.runtime.errors import MemoryFault
+
+    kernel = compile_kernel(_FAULTY_SPILL_SOURCE)
+    data = np.ones(1024, dtype=np.float32)
+    mem = Memory()
+    inb = mem.from_array(data, "in")
+    outb = mem.alloc(1024 * 4, "out")  # gi*2 overflows past gi=511
+
+    before = _deleted_tmp_fds()
+    with Session(trace_spill_mb=1).activate():
+        with pytest.raises((MemoryFault, IndexError)):
+            launch(
+                kernel, (1024,), (16,), {"in": inb, "out": outb, "P": 2},
+                memory=mem, collect_trace=True,
+            )
+    assert _deleted_tmp_fds() == before, "failed launch leaked its spill fd"
+
+
 # ---------------------------------------------------------------------------
 # launch-level: a trace far past the mark completes, bounded and identical
 # ---------------------------------------------------------------------------

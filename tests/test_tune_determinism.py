@@ -1,0 +1,133 @@
+"""Determinism of the autotuner: feature vectors, ground-truth labels
+and the serialized model must be byte-identical across worker counts
+and across python processes.
+
+This is what makes the committed ``tests/golden/tune_model.json``
+artifact *shippable*: anyone retraining on the same corpus slice must
+land on the same bytes (mirrors ``test_search_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.tune import label_corpus, train_model
+from repro.tune.features import app_candidate_features, app_kernel_context
+from repro.tune.model import save_model
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: a small, fast labeling slice — the promoted corpus at depth 1 on one
+#: device (~170 examples in about a second)
+LABEL_KW = dict(sources=("corpus",), depth=1, devices=("Fermi",))
+
+
+def _subprocess_env() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(_ROOT, "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, _ROOT, env.get("PYTHONPATH", "")) if p
+    )
+    return env
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _label_fingerprint(examples) -> str:
+    """A digest of everything labeling decided, features included."""
+    blob = json.dumps(
+        [
+            {
+                "kernel": e.kernel_id,
+                "source": e.source,
+                "pipeline": list(e.pipeline),
+                "device": e.device,
+                "features": e.features,
+                "win": e.win,
+                "cycles": e.cycles,
+                "baseline_cycles": e.baseline_cycles,
+            }
+            for e in examples
+        ],
+        sort_keys=True,
+    )
+    return _sha(blob)
+
+
+def _feature_fingerprint() -> str:
+    ctx = app_kernel_context("NVD-MT")
+    feats, rewrites = app_candidate_features(
+        ctx, "NVD-MT", ("pad-local-arrays", "grover"), "test", "Fermi"
+    )
+    return _sha(json.dumps(
+        {"static": ctx.static, "trace": ctx.trace, "feats": feats,
+         "rewrites": list(rewrites)},
+        sort_keys=True,
+    ))
+
+
+def _model_file_sha(examples, path: str) -> str:
+    tree, meta = train_model(examples, train_sources=("corpus",))
+    save_model(tree, path, meta)
+    with open(path, "rb") as fh:
+        return hashlib.sha256(fh.read()).hexdigest()
+
+
+def test_feature_vectors_identical_across_processes():
+    prog = (
+        "from tests.test_tune_determinism import _feature_fingerprint\n"
+        "print(_feature_fingerprint())\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", prog], capture_output=True, text=True,
+        check=True, env=_subprocess_env(), cwd=_ROOT,
+    )
+    assert proc.stdout.strip() == _feature_fingerprint()
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_labels_independent_of_worker_count(workers):
+    examples = label_corpus(workers=workers, **LABEL_KW)
+    assert len(examples) > 50
+    assert _label_fingerprint(examples) == _EXPECTED_LABEL_FP
+
+
+#: computed once at import by the serial path; both parametrizations
+#: (and the cross-process test below) must land on the same digest
+_EXAMPLES = label_corpus(workers=1, **LABEL_KW)
+_EXPECTED_LABEL_FP = _label_fingerprint(_EXAMPLES)
+
+
+def test_labels_and_model_identical_across_processes(tmp_path):
+    here = _model_file_sha(_EXAMPLES, str(tmp_path / "model.json"))
+    prog = (
+        "import sys, tempfile, os\n"
+        "from tests.test_tune_determinism import (\n"
+        "    LABEL_KW, _label_fingerprint, _model_file_sha)\n"
+        "from repro.tune import label_corpus\n"
+        "ex = label_corpus(workers=1, **LABEL_KW)\n"
+        "print(_label_fingerprint(ex))\n"
+        "with tempfile.TemporaryDirectory() as d:\n"
+        "    print(_model_file_sha(ex, os.path.join(d, 'model.json')))\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", prog], capture_output=True, text=True,
+        check=True, env=_subprocess_env(), cwd=_ROOT,
+    )
+    label_fp, model_sha = proc.stdout.split()
+    assert label_fp == _EXPECTED_LABEL_FP
+    assert model_sha == here
+
+
+def test_refit_on_identical_labels_is_byte_identical(tmp_path):
+    a = _model_file_sha(_EXAMPLES, str(tmp_path / "a.json"))
+    b = _model_file_sha(list(_EXAMPLES), str(tmp_path / "b.json"))
+    assert a == b

@@ -1,0 +1,202 @@
+"""Feature extraction for the autotuner: reuse histograms against a
+naive stack-distance reference, entropy bounds, deterministic static
+and candidate vectors, and the fixed-order projection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_kernel
+from repro.runtime import Memory, launch
+from repro.session import Session
+from repro.tune.features import (
+    REUSE_BUCKETS,
+    _entropy,
+    _reuse_histogram,
+    app_candidate_features,
+    app_kernel_context,
+    static_features,
+    trace_features,
+    vectorize,
+)
+
+# ---------------------------------------------------------------------------
+# reuse-distance histogram vs a naive sequential LRU-stack reference
+# ---------------------------------------------------------------------------
+
+
+def _naive_histogram(lines):
+    """The textbook O(n·d) stack walk the vectorised version must match:
+    distance = number of distinct lines since the previous access to the
+    same line (0 = immediate repeat), cold = never seen before."""
+    stack = []  # most-recent-first, distinct lines
+    dists = []
+    for line in lines:
+        line = int(line)
+        if line in stack:
+            d = stack.index(line)
+            stack.remove(line)
+        else:
+            d = None
+        dists.append(d)
+        stack.insert(0, line)
+
+    n = len(lines)
+    out = {}
+    prev = 0
+    for hi in REUSE_BUCKETS:
+        c = sum(1 for d in dists if d is not None and d < hi)
+        out[f"trace:reuse:lt{hi}"] = (c - prev) / n
+        prev = c
+    far = sum(1 for d in dists if d is not None and d >= REUSE_BUCKETS[-1])
+    out["trace:reuse:far"] = far / n
+    out["trace:reuse:cold"] = sum(1 for d in dists if d is None) / n
+    return out
+
+
+@pytest.mark.parametrize("seed,alphabet", [(0, 8), (1, 100), (2, 700)])
+def test_reuse_histogram_matches_naive_stack_walk(seed, alphabet):
+    rng = np.random.default_rng(seed)
+    lines = rng.integers(0, alphabet, size=600).astype(np.int64)
+    got = _reuse_histogram(lines)
+    want = _naive_histogram(lines)
+    assert set(got) == set(want)
+    for k in want:
+        assert got[k] == pytest.approx(want[k], abs=1e-12), k
+    # the histogram is a distribution over every access
+    assert sum(got.values()) == pytest.approx(1.0)
+
+
+def test_reuse_histogram_edge_streams():
+    # an empty stream is all-zero, not NaN
+    empty = _reuse_histogram(np.array([], dtype=np.int64))
+    assert set(empty.values()) == {0.0}
+    # an immediately-repeated line is pure distance-0 reuse
+    rep = _reuse_histogram(np.array([7, 7, 7, 7], dtype=np.int64))
+    assert rep["trace:reuse:lt1"] == pytest.approx(0.75)
+    assert rep["trace:reuse:cold"] == pytest.approx(0.25)
+    # a never-repeating stream is pure cold misses
+    cold = _reuse_histogram(np.arange(16, dtype=np.int64))
+    assert cold["trace:reuse:cold"] == 1.0
+
+
+def test_entropy_bounds():
+    assert _entropy(np.array([], dtype=np.int64)) == 0.0
+    assert _entropy(np.array([3, 3, 3], dtype=np.int64)) == 0.0
+    # uniform over 16 distinct lines: maximal, normalized to 1
+    assert _entropy(np.arange(16, dtype=np.int64)) == pytest.approx(1.0)
+    skewed = _entropy(np.array([0] * 15 + [1], dtype=np.int64))
+    assert 0.0 < skewed < 1.0
+
+
+# ---------------------------------------------------------------------------
+# static + trace features
+# ---------------------------------------------------------------------------
+
+_SOURCE = r"""
+__kernel void k(__global float* out, __global const float* in)
+{
+    __local float tile[16];
+    int li = get_local_id(0);
+    int gi = get_global_id(0);
+    tile[li] = in[gi];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (li < 8) {
+        out[gi] = tile[li] + tile[15 - li];
+    } else {
+        out[gi] = tile[li];
+    }
+}
+"""
+
+
+def _traced():
+    kernel = compile_kernel(_SOURCE)
+    mem = Memory()
+    inb = mem.from_array(np.arange(64, dtype=np.float32), "in")
+    outb = mem.alloc(64 * 4, "out")
+    with Session(env={}).activate():
+        res = launch(kernel, (64,), (16,), {"in": inb, "out": outb},
+                     memory=mem, collect_trace=True)
+    return kernel, res.trace
+
+
+def test_static_features_are_deterministic_and_complete():
+    a = static_features(compile_kernel(_SOURCE), (16,))
+    b = static_features(compile_kernel(_SOURCE), (16,))
+    assert a == b
+    for key in ("ir:blocks", "ir:insts", "ir:cond_branches"):
+        assert key in a and a[key] > 0
+    # every registered rule contributed its cost features
+    from repro.rules import rule_names
+    for name in rule_names():
+        assert any(k.startswith(f"rule:{name}:") for k in a), name
+
+
+def test_trace_features_describe_the_mixed_kernel():
+    _, trace = _traced()
+    f = trace_features(trace)
+    # the kernel touches both spaces and has one barrier → two phases
+    assert 0.0 < f["trace:local_fraction"] < 1.0
+    assert f["trace:barriers"] == 1.0
+    assert f["trace:phases"] == 2.0
+    assert f["trace:accesses"] > 0
+    # the `li < 8` branch makes some events partially active
+    assert f["trace:divergent_fraction"] > 0.0
+    assert 0.0 < f["trace:mean_active_fraction"] <= 1.0
+    # features are reproducible from an identical launch
+    _, trace2 = _traced()
+    assert trace_features(trace2) == f
+
+
+# ---------------------------------------------------------------------------
+# candidate assembly (app level)
+# ---------------------------------------------------------------------------
+
+
+def test_candidate_features_pipeline_and_device_encoding():
+    from repro.perf.devices import DEVICES
+
+    ctx = app_kernel_context("NVD-MT")
+    feats, rewrites = app_candidate_features(
+        ctx, "NVD-MT", ("pad-local-arrays",), "test", "Fermi"
+    )
+    assert rewrites == (1,)
+    assert feats["pipe:len"] == 1.0
+    assert feats["pipe:pad-local-arrays"] == 1.0
+    assert feats["pipe:rewrites:pad-local-arrays"] == 1.0
+    assert feats["pipe:rewrites_total"] == 1.0
+    # exactly one device bit set, and Fermi is a GPU
+    assert sum(feats[f"dev:{d}"] for d in DEVICES) == 1.0
+    assert feats["dev:Fermi"] == 1.0 and feats["dev:is_gpu"] == 1.0
+    # baseline statics ride along under base:, candidate statics as ir:,
+    # and the deltas connect them
+    assert any(k.startswith("base:") for k in feats)
+    for k, v in feats.items():
+        if k.startswith("delta:"):
+            assert v == pytest.approx(
+                feats[f"ir:{k[6:]}"] - feats[f"base:{k[6:]}"]
+            )
+
+    # the same candidate on a CPU differs only in the device block
+    cpu, _ = app_candidate_features(
+        ctx, "NVD-MT", ("pad-local-arrays",), "test", "SNB"
+    )
+    diff = {k for k in feats if feats[k] != cpu[k]}
+    assert diff == {"dev:Fermi", "dev:SNB", "dev:is_gpu"}
+
+
+def test_vectorize_projects_onto_the_model_order():
+    v = vectorize({"a": 1.0, "c": 3.0, "extra": 9.0}, ["a", "b", "c"])
+    np.testing.assert_array_equal(v, np.array([1.0, 0.0, 3.0]))
+    assert v.dtype == np.float64
+
+
+def test_candidate_features_reject_nothing_silently():
+    """Every feature value must be a finite float — NaN/inf would
+    poison the tree's threshold comparisons silently."""
+    ctx = app_kernel_context("NVD-MT")
+    feats, _ = app_candidate_features(ctx, "NVD-MT", (), "test", "Fermi")
+    for k, v in feats.items():
+        assert np.isfinite(v), k

@@ -1,0 +1,135 @@
+"""The dependency-free CART predictor: fitting, serialization, the
+sha256 integrity gate, and the committed artifact's pinned quality."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.tune.model import (
+    default_model_path,
+    load_model,
+    model_sha256,
+    save_model,
+    train_tree,
+)
+
+
+def _separable(n=200, seed=3):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0.0, 1.0, size=(n, 3))
+    y = (X[:, 1] > 0.5).astype(np.float64)
+    return X, y
+
+
+# ---------------------------------------------------------------------------
+# fitting
+# ---------------------------------------------------------------------------
+
+
+def test_tree_learns_a_separable_rule():
+    X, y = _separable()
+    tree = train_tree(X, y, ["a", "b", "c"], max_depth=3, min_leaf=5)
+    preds = [tree.predict_proba(x) >= 0.5 for x in X]
+    assert np.mean(np.array(preds) == (y == 1.0)) >= 0.95
+    # the split it found is on the informative feature
+    assert tree.root["split"]["feature"] == 1
+    assert tree.depth <= 3
+    for x in X:
+        assert 0.0 <= tree.predict_proba(x) <= 1.0
+
+
+def test_tree_handles_degenerate_inputs():
+    # pure labels: a single leaf, probability pinned
+    X = np.zeros((10, 2))
+    tree = train_tree(X, np.ones(10), ["a", "b"], max_depth=3)
+    assert tree.predict_proba(np.zeros(2)) == 1.0
+    assert "leaf" in tree.root
+    with pytest.raises(ValueError, match="zero examples"):
+        train_tree(np.zeros((0, 2)), np.zeros(0), ["a", "b"])
+    with pytest.raises(ValueError, match="does not match"):
+        train_tree(np.zeros((5, 2)), np.zeros(5), ["a"])
+
+
+def test_refit_is_byte_identical(tmp_path):
+    X, y = _separable()
+    p1, p2 = str(tmp_path / "m1.json"), str(tmp_path / "m2.json")
+    save_model(train_tree(X, y, ["a", "b", "c"]), p1, {"run": 1})
+    save_model(train_tree(X.copy(), y.copy(), ["a", "b", "c"]), p2, {"run": 1})
+    with open(p1, "rb") as f1, open(p2, "rb") as f2:
+        assert f1.read() == f2.read()
+
+
+# ---------------------------------------------------------------------------
+# serialization + integrity
+# ---------------------------------------------------------------------------
+
+
+def test_save_load_roundtrip(tmp_path):
+    X, y = _separable()
+    tree = train_tree(X, y, ["a", "b", "c"], max_depth=3)
+    path = str(tmp_path / "model.json")
+    payload = save_model(tree, path, {"examples": len(X)})
+    pred = load_model(path)
+    assert pred.sha256 == payload["sha256"] == model_sha256(payload)
+    assert pred.tree.feature_names == ("a", "b", "c")
+    for x in X[:20]:
+        assert pred.tree.predict_proba(x) == tree.predict_proba(x)
+    # dict-based prediction projects through vectorize
+    assert 0.0 <= pred.predict({"b": 0.9}) <= 1.0
+
+
+def test_load_rejects_tampering_and_bad_artifacts(tmp_path):
+    X, y = _separable()
+    path = str(tmp_path / "model.json")
+    save_model(train_tree(X, y, ["a", "b", "c"]), path)
+
+    blob = json.load(open(path))
+    blob["training"] = {"examples": 999999}  # tamper without re-hashing
+    json.dump(blob, open(path, "w"))
+    with pytest.raises(ValueError, match="integrity"):
+        load_model(path)
+
+    json.dump({"format": "something-else"}, open(path, "w"))
+    with pytest.raises(ValueError, match="artifact"):
+        load_model(path)
+
+    blob = {"format": "repro-tune-model", "version": 999}
+    json.dump(blob, open(path, "w"))
+    with pytest.raises(ValueError, match="version"):
+        load_model(path)
+
+    open(path, "w").write("not json")
+    with pytest.raises(ValueError, match="cannot read"):
+        load_model(path)
+
+    with pytest.raises(ValueError, match="cannot read"):
+        load_model(str(tmp_path / "missing.json"))
+
+
+# ---------------------------------------------------------------------------
+# the committed artifact
+# ---------------------------------------------------------------------------
+
+
+def test_committed_model_loads_and_pins_its_quality():
+    """The artifact the search prunes with: integrity-checked on load,
+    trained on corpus+fuzz only (the 11 apps are honest holdout), and
+    its recorded holdout quality stays above the floor — in particular
+    no true winner is pruned at the default 0.25 threshold."""
+    path = default_model_path()
+    assert os.path.exists(path), "tests/golden/tune_model.json missing"
+    pred = load_model(path)
+    training = pred.payload["training"]
+    assert set(training["sources"]) == {"corpus", "fuzz"}
+    holdout = training["holdout"]
+    assert holdout["examples"] > 0
+    assert holdout["accuracy"] >= 0.75
+    assert holdout["winner_recall_at_0.25"] == 1.0
+    assert len(holdout["kernels"]) == 11  # every Table III app held out
+    assert len(pred.tree.feature_names) == len(set(pred.tree.feature_names))
+    # a prediction is a probability
+    assert 0.0 <= pred.predict({}) <= 1.0

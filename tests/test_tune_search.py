@@ -1,0 +1,173 @@
+"""The autotuner wired into the search: pruning accelerates, never
+decides — winners match the untuned search and stay verified.  Plus the
+config plumbing, the Session entry point and the ``repro tune`` CLI."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.search import SearchOptions, search_app
+from repro.session import Session, events
+from repro.session.config import ConfigError
+from repro.session.events import validate_event
+from repro.tune.model import default_model_path, load_model
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _search(app_id, tune, **kw):
+    kw.setdefault("workers", 1)
+    kw.setdefault("depth", 2)
+    opts = SearchOptions(apps=(app_id,), tune=tune, **kw)
+    return search_app(app_id, opts)
+
+
+# ---------------------------------------------------------------------------
+# search integration
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("app_id", ["NVD-MT", "PAB-ST"])
+def test_tuned_search_reproduces_the_untuned_winner(app_id):
+    base = _search(app_id, tune=False)
+    with events.collect() as sink:
+        tuned = _search(app_id, tune=True)
+    # the predictor is an accelerator: same winner, fewer simulations,
+    # verification untouched
+    assert tuned.winner.pipeline == base.winner.pipeline
+    assert tuned.winner.rewrites == base.winner.rewrites
+    assert tuned.winner.cycles == base.winner.cycles
+    assert tuned.verified and base.verified
+    assert tuned.pruned > 0
+    # fewer candidates reached the (expensive) scoring launches
+    assert len(tuned.candidates) < len(base.candidates)
+    assert len(tuned.candidates) + tuned.pruned >= len(base.candidates)
+    for e in sink.events:
+        validate_event(e.kind, e.payload)
+    predicts = sink.of_kind("tune_predict")
+    assert predicts
+    for e in predicts:
+        assert 0.0 <= e.payload["p_win"] <= 1.0
+        assert e.payload["threshold"] == pytest.approx(0.25)
+    end = sink.of_kind("search_end")[0].payload
+    assert end["pruned"] == tuned.pruned
+    # every pruned candidate left a visible reason
+    pruned_events = [
+        e for e in sink.of_kind("search_candidate")
+        if e.payload["error"].startswith("pruned:")
+    ]
+    assert len(pruned_events) == tuned.pruned
+
+
+def test_untuned_search_reports_zero_pruned():
+    r = _search("PAB-ST", tune=False, depth=1)
+    assert r.pruned == 0
+
+
+def test_absurd_threshold_degrades_to_the_default_pipeline():
+    """Even a threshold that prunes every model-voted candidate cannot
+    break the search: the winner falls back to the (always-verified)
+    default pipeline."""
+    with Session(env={}, tune_threshold=2.0).activate():
+        r = _search("NVD-MT", tune=True, depth=1)
+    assert r.winner.pipeline == ()
+    assert r.verified
+    assert r.pruned > 0
+
+
+def test_tuned_search_rejects_a_missing_model(tmp_path):
+    with Session(env={}, tune_model=str(tmp_path / "nope.json")).activate():
+        with pytest.raises(ValueError, match="cannot read tune model"):
+            _search("NVD-MT", tune=True, depth=1)
+
+
+# ---------------------------------------------------------------------------
+# config plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_tune_threshold_is_a_float_config():
+    assert Session(env={}).get("tune_threshold") == 0.25
+    s = Session(env={"REPRO_TUNE_THRESHOLD": "0.5"})
+    assert s.get("tune_threshold") == 0.5
+    assert Session(env={}, tune_threshold=0.75).get("tune_threshold") == 0.75
+    # ints widen, bools and junk do not
+    assert Session(env={}, tune_threshold=1).get("tune_threshold") == 1.0
+    with pytest.raises(ConfigError, match="must be a number"):
+        Session(env={"REPRO_TUNE_THRESHOLD": "lots"}).get("tune_threshold")
+    with pytest.raises(ConfigError):
+        Session(env={}, tune_threshold=True)
+
+
+def test_tune_model_is_a_path_config(tmp_path):
+    assert Session(env={}).get("tune_model") is None
+    p = str(tmp_path / "m.json")
+    assert Session(env={"REPRO_TUNE_MODEL": p}).get("tune_model") == p
+
+
+# ---------------------------------------------------------------------------
+# Session entry point + CLI
+# ---------------------------------------------------------------------------
+
+
+def test_session_tune_predict_loads_the_committed_model():
+    pred = Session(env={}).tune("predict")
+    assert pred.path == default_model_path()
+    assert pred.sha256 == load_model(default_model_path()).sha256
+    with pytest.raises(TypeError, match="no kwargs"):
+        Session(env={}).tune("predict", extra=1)
+    with pytest.raises(ValueError, match="unknown tune action"):
+        Session(env={}).tune("bogus")
+
+
+def test_session_tune_train_on_a_small_slice(tmp_path):
+    out = tmp_path / "model.json"
+    tree, meta = Session(env={}).tune(
+        "train", out=str(out), sources=("corpus",), depth=1,
+        devices=("Fermi",), train_sources=("corpus",), workers=1,
+    )
+    assert out.exists()
+    pred = load_model(str(out))
+    assert pred.payload["training"]["examples"] == meta["examples"]
+    assert meta["examples"] > 50
+
+
+def _cli(*argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(_ROOT, "src"), env.get("PYTHONPATH", ""))
+        if p
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True, text=True, env=env, cwd=_ROOT,
+    )
+
+
+def test_cli_tune_train_and_predict(tmp_path):
+    out = str(tmp_path / "model.json")
+    proc = _cli(
+        "tune", "train", "--out", out, "--sources", "corpus",
+        "--depth", "1", "--devices", "Fermi", "--train-sources", "corpus",
+        "--workers", "1",
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "sha256" in proc.stdout
+    load_model(out)  # integrity-checked artifact
+
+    proc = _cli(
+        "tune", "predict", "--app", "NVD-MT",
+        "--pipeline", "pad-local-arrays", "--model", out,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "p(win)" in proc.stdout and ("go" in proc.stdout
+                                        or "no-go" in proc.stdout)
+
+    proc = _cli("tune", "predict", "--app", "NVD-MT",
+                "--pipeline", "pad-local-arrays",
+                "--model", str(tmp_path / "missing.json"))
+    assert proc.returncode == 1
