@@ -10,7 +10,9 @@ Subcommands:
   (see :mod:`repro.perf.bench`): times compile→launch→trace→cycles for
   the headline workloads and writes ``BENCH_pipeline.json``; with
   ``--workers N`` it also times (and differentially verifies) the
-  sharded launches and the parallel experiment matrix.
+  sharded launches and the parallel experiment matrix on the warm
+  persistent pool, reporting the one-time ``pool_warmup_s`` apart from
+  steady-state repeats plus shared-memory and kernel-cache counters.
 * ``python -m repro.cli matrix [...]`` — the (app × device) experiment
   matrix (Table IV / Fig. 10 / extension-GPU scoring), optionally
   fanned out with ``--workers N`` (see :mod:`repro.parallel.matrix`).

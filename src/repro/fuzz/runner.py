@@ -28,6 +28,7 @@ from typing import List, Optional, Tuple
 from repro.fuzz.generate import FuzzCase, generate_case
 from repro.fuzz.oracle import Mismatch, OracleOutcome, run_case
 from repro.fuzz.shrink import shrink_case
+from repro.parallel import pool as worker_pool
 from repro.parallel.engine import make_pool, resolve_workers
 from repro.session import events
 
@@ -146,11 +147,15 @@ def run_fuzz(options: FuzzOptions) -> FuzzRunResult:
         for i in range(options.count)
     ]
     results: List[CaseResult] = []
-    pool = make_pool(n_workers) if n_workers > 1 else None
+    pool = (
+        worker_pool.acquire(n_workers, factory=make_pool)
+        if n_workers > 1
+        else None
+    )
     if pool is None:
         results = [_run_one(p) for p in payloads]
     else:
-        with pool:
+        try:
             futures = [pool.submit(_run_one_in_worker, p) for p in payloads]
             for payload, fut in zip(payloads, futures):
                 try:
@@ -159,6 +164,8 @@ def run_fuzz(options: FuzzOptions) -> FuzzRunResult:
                     # pool infrastructure died (a deterministic kernel
                     # error never escapes the oracle): redo serially
                     results.append(_run_one(payload))
+        finally:
+            pool.release()
 
     run = FuzzRunResult(
         options=options, results=results, workers=n_workers

@@ -10,6 +10,11 @@ Two levels of sharding, one determinism contract:
   grid of Table IV / Fig. 10 / the extension-GPU scoring out over a
   pool, one application per case (:mod:`repro.parallel.matrix`).
 
+Every fan-out shares one process-wide *persistent* worker pool
+(:mod:`repro.parallel.pool`, ``$REPRO_POOL_PERSIST``) and, for sharded
+launches, a zero-copy shared-memory data plane
+(``$REPRO_POOL_SHM``, DESIGN.md §17).
+
 Both levels are required to be *bit-identical* to serial execution;
 :mod:`repro.parallel.diff` is the differential layer that enforces it.
 ``REPRO_WORKERS=1`` forces everything serial.
@@ -25,12 +30,15 @@ from repro.parallel.diff import (
 )
 from repro.parallel.engine import WORKERS_ENV, make_pool, resolve_workers
 from repro.parallel.matrix import MatrixResult, run_matrix
+from repro.parallel.pool import WorkerPool, acquire, shutdown_shared
 from repro.parallel.sharding import merge_group_traces, select_groups, shard_ranges
 
 __all__ = [
     "DifferentialMismatch",
     "MatrixResult",
     "WORKERS_ENV",
+    "WorkerPool",
+    "acquire",
     "assert_cycles_equal",
     "assert_matrix_equal",
     "assert_outputs_equal",
@@ -41,5 +49,6 @@ __all__ = [
     "run_matrix",
     "select_groups",
     "shard_ranges",
+    "shutdown_shared",
     "trace_mismatch",
 ]

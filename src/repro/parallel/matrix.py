@@ -3,11 +3,13 @@
 The experiment matrix — Table IV, Fig. 10, the extension-GPU scoring —
 is embarrassingly parallel: traces are device-independent, so the unit
 of work is one *application* (both variants traced once, then scored on
-every requested device).  ``run_matrix`` fans those cases out over a
-process pool; each worker computes its case from scratch in a fresh
-interpreter (shared-nothing), and the parent assembles the grid in the
-deterministic ``apps``/``devices`` input order, so serial and parallel
-results are bit-identical floats.
+every requested device).  ``run_matrix`` fans those cases out over the
+process-wide warm pool (:mod:`repro.parallel.pool`); each case is
+computed shared-nothing from its arguments, but the worker *processes*
+persist across calls, so a worker's compile and codegen caches stay
+warm between cases and between consecutive matrices.  The parent
+assembles the grid in the deterministic ``apps``/``devices`` input
+order, so serial and parallel results are bit-identical floats.
 
 A case whose worker dies of *pool infrastructure* trouble (broken
 pool, lost worker, pickling) is retried serially in the parent
@@ -32,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.parallel import pool as worker_pool
 from repro.parallel.engine import make_pool, resolve_workers
 from repro.runtime.errors import (
     BarrierDivergenceError,
@@ -132,11 +135,11 @@ def run_matrix(
     )
 
     per_app: Dict[str, Dict[str, float]] = {}
-    pool = make_pool(min(n_workers, len(app_ids))) if (
-        n_workers > 1 and len(app_ids) > 1
-    ) else None
+    pool = worker_pool.acquire(
+        min(n_workers, len(app_ids)), factory=make_pool
+    ) if (n_workers > 1 and len(app_ids) > 1) else None
     if pool is not None:
-        with pool:
+        try:
             futures = {
                 app_id: pool.submit(_matrix_case, app_id, dev_names, scale)
                 for app_id in app_ids
@@ -166,6 +169,8 @@ def run_matrix(
                     )
                     _, vals = _matrix_case(app_id, dev_names, scale)
                 per_app[app_id] = vals
+        finally:
+            pool.release()
     else:
         for app_id in app_ids:
             _, vals = _matrix_case(app_id, dev_names, scale)

@@ -6,6 +6,12 @@ their range and the merge reassembles the results in canonical group
 order *regardless of the order workers finished in*.  Keeping this
 logic free of pool mechanics is what makes it property-testable
 (``tests/test_parallel_merge_properties.py`` fuzzes it over seeds).
+
+Under the shared-memory plane (``pool_shm``, DESIGN.md §17) only traces
+still need this order-restoring merge: shards write their owned output
+ranges directly into the published arena, so the buffer "merge" is a
+single readback copy — a no-op reassembly of views, not a per-shard
+diff application.
 """
 
 from __future__ import annotations
@@ -54,6 +60,12 @@ def shard_ranges(n_items: int, shards: int) -> List[Tuple[int, int]]:
         for i in range(n_shards)
         if bounds[i] < bounds[i + 1]
     ]
+
+
+def describe_span(picks: np.ndarray, lo: int, hi: int) -> str:
+    """Human-readable flat-group span of one shard — the range a launch
+    error names when that shard's worker fails."""
+    return f"flat groups {int(picks[lo])}..{int(picks[hi - 1])} (picks {lo}:{hi})"
 
 
 def merge_group_traces(shard_results: Sequence[Tuple[int, Sequence]]) -> List:

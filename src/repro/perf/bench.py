@@ -16,11 +16,17 @@ recorded number.
 
 With ``--workers N`` (N > 1) two parallel stages are added, both
 differentially verified before their wall-clock is recorded: a sharded
-launch per app (``launch_trace_parallel_s``, traces asserted
-bit-identical to the serial ones) and the Table IV experiment matrix
-serial-vs-fanned-out (``parallel_matrix``, values asserted equal
-float-for-float).  ``host_cpus`` is recorded alongside — on a
-single-core host the parallel numbers measure overhead, not speedup.
+launch per app and the Table IV experiment matrix serial-vs-fanned-out
+(``parallel_matrix``, values asserted equal float-for-float).  Since
+schema 7 the sharded-launch stage separates one-time costs from
+steady state: ``pool_warmup_s`` is the first fan-out (worker fork if
+the persistent pool is cold, arena publication, cold per-worker kernel
+caches) and ``launch_trace_parallel_s`` is the minimum of up to three
+warm repeats — the number a long sweep actually pays per launch.  The
+per-app ``pool`` block records ``shm_bytes_published`` and per-worker
+task/kernel-cache-hit counters from :mod:`repro.parallel.pool`.
+``host_cpus`` is recorded alongside — on a single-core host the
+parallel numbers measure overhead, not speedup.
 """
 
 from __future__ import annotations
@@ -52,7 +58,7 @@ DEFAULT_SAMPLE_GROUPS = 16
 #: total): large enough that per-launch costs (tape compile, the pilot
 #: group) amortise the way they do in a real Table IV sweep
 TRACE_SAMPLE_GROUPS = 256
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 #: scale the ``--search`` tier searches at: candidate scoring compiles
 #: and executes dozens of kernels per app, so it runs the small grids
 SEARCH_SCALE = "test"
@@ -258,22 +264,49 @@ def bench_app(
 
     # -- launch + trace, sharded over workers ---------------------------------
     if workers > 1:
-        t0 = time.perf_counter()
-        par_traces = {
-            var: execute_app(
-                app, kernels[var], variant=var, scale=scale,
-                collect_trace=True, sample_groups=sample_groups,
-                workers=workers,
-            ).trace
-            for var in variants
-        }
-        t1 = time.perf_counter()
-        for var in variants:  # differential gate before recording
-            assert_traces_equal(
-                traces[var], par_traces[var], f"{app_id}[{var}] workers={workers}"
-            )
-        out["stages"]["launch_trace_parallel_s"] = t1 - t0
+        from repro.parallel import pool as worker_pool
+
+        worker_pool.reset_stats()
+
+        def _parallel_pass() -> float:
+            t0 = time.perf_counter()
+            par_traces = {
+                var: execute_app(
+                    app, kernels[var], variant=var, scale=scale,
+                    collect_trace=True, sample_groups=sample_groups,
+                    workers=workers,
+                ).trace
+                for var in variants
+            }
+            dt = time.perf_counter() - t0
+            for var in variants:  # differential gate before recording
+                assert_traces_equal(
+                    traces[var], par_traces[var],
+                    f"{app_id}[{var}] workers={workers}",
+                )
+            return dt
+
+        # first fan-out pays the one-time costs: the pool fork (when the
+        # persistent pool is cold), arena publication into fresh page
+        # cache, cold per-worker kernel caches
+        out["stages"]["pool_warmup_s"] = _parallel_pass()
+        dt = None
+        for _ in range(TIMED_REPEATS):
+            dt_i = _parallel_pass()
+            dt = dt_i if dt is None else min(dt, dt_i)
+            if dt_i >= REPEAT_UNDER_S:
+                break
+        out["stages"]["launch_trace_parallel_s"] = dt
         out["launch_workers"] = workers
+        stats = worker_pool.stats()
+        out["pool"] = {
+            "tasks": stats["tasks"],
+            "shm_bytes_published": stats["shm_bytes_published"],
+            "per_worker": {
+                str(pid): counts
+                for pid, counts in sorted(stats["per_worker"].items())
+            },
+        }
 
     # -- trace -> cycles ------------------------------------------------------
     cpu_spec, gpu_spec = devices.SNB, devices.FERMI
@@ -656,7 +689,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if matrix["host_cpus"] < 2:
             print(
                 "# note: single-cpu host — parallel wall-clock measures "
-                "overhead, not speedup; rerun on a multi-core host"
+                "overhead, not speedup (pool_warmup_s already isolates the "
+                "one-time fork + shm-publish cost; launch_trace_parallel_s "
+                "is the min of warm repeats); rerun on a multi-core host "
+                "for real scaling numbers"
             )
     return 0
 

@@ -51,6 +51,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.parallel import pool as worker_pool
 from repro.parallel.engine import make_pool, resolve_workers
 from repro.session import events
 
@@ -551,14 +552,18 @@ def run_search(options: SearchOptions) -> SearchRunResult:
     t0 = time.perf_counter()
     apps = tuple(options.apps) or tuple(a.id for a in table_apps())
     n_workers = resolve_workers(options.workers)
-    pool = make_pool(n_workers) if n_workers > 1 else None
+    pool = (
+        worker_pool.acquire(n_workers, factory=make_pool)
+        if n_workers > 1
+        else None
+    )
     run = SearchRunResult(options=options, workers=n_workers)
     try:
         for app_id in apps:
             run.results.append(search_app(app_id, options, pool))
     finally:
         if pool is not None:
-            pool.shutdown()
+            pool.release()
     run.wall_s = time.perf_counter() - t0
     return run
 

@@ -135,7 +135,12 @@ class Session:
             _STACK.remove(self)
 
     def close(self) -> None:
-        """Detach and close the session's JSONL sink, if any."""
+        """Detach and close the session's JSONL sink, if any, and tear
+        down the shared worker pool when this session owns it (the
+        session that first acquired it; see :mod:`repro.parallel.pool`)."""
+        from repro.parallel import pool as worker_pool
+
+        worker_pool.session_closed(self)
         if self._jsonl is not None:
             events.detach(self._jsonl)
             self._jsonl.close()

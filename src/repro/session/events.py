@@ -98,6 +98,26 @@ EVENT_SCHEMA: Dict[str, Dict[str, Tuple[type, ...]]] = {
     },
     "launch_sharded": {"kernel": (str,), "shards": (int,), "workers": (int,)},
     "pool_fallback": {"where": (str,), "reason": (str,), "error": (str,)},
+    # persistent worker pool: forked once, reused across fan-outs
+    "pool_start": {"workers": (int,), "wall_ms": (int, float)},
+    "pool_recycle": {"reason": (str,), "workers": (int,)},
+    # one dispatched shard: queue time (submit -> worker pickup) and
+    # worker-side execution wall separately, so dispatch overhead is
+    # visible next to useful work
+    "pool_task": {
+        "kernel": (str,),
+        "shard": (int,),
+        "groups": (int,),
+        "dispatch_ms": (int, float),
+        "wall_ms": (int, float),
+    },
+    # launch buffers published once into a shared-memory arena
+    "shm_publish": {
+        "kernel": (str,),
+        "buffers": (int,),
+        "bytes": (int,),
+        "wall_ms": (int, float),
+    },
     "group_executed": {"group_id": (list,), "work_items": (int,)},
     "launch_end": {
         "kernel": (str,),

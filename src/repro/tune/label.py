@@ -292,6 +292,7 @@ def label_corpus(
 ) -> List[LabeledExample]:
     """Run the oracle over every requested source; returns examples in
     deterministic (payload, pipeline, device) order."""
+    from repro.parallel import pool as worker_pool
     from repro.parallel.engine import make_pool
 
     pipelines = enumerate_pipelines(rules, depth)
@@ -299,7 +300,11 @@ def label_corpus(
         tuple(sources), pipelines, scale, sample_groups, tuple(devices),
         fuzz_seed, fuzz_count, apps,
     )
-    pool = make_pool(workers) if workers > 1 else None
+    pool = (
+        worker_pool.acquire(workers, factory=make_pool)
+        if workers > 1
+        else None
+    )
     rows: List[dict] = []
     try:
         if pool is None:
@@ -315,7 +320,7 @@ def label_corpus(
                     rows.extend(_label_one(p))
     finally:
         if pool is not None:
-            pool.shutdown()
+            pool.release()
 
     out: List[LabeledExample] = []
     for r in rows:

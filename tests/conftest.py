@@ -100,6 +100,18 @@ def execute_kernel(kernel, args_spec, global_size, local_size, outs):
     return kernel, results
 
 
+@pytest.fixture(autouse=True)
+def _fresh_worker_pool():
+    """Isolate tests from the process-wide persistent worker pool: a pool
+    warmed (or monkeypatched into existence) by one test must never leak
+    into the next.  Tests exercising persistence do so within one test."""
+    yield
+    from repro.parallel import pool as worker_pool
+
+    worker_pool.shutdown_shared()
+    worker_pool.reset_stats()
+
+
 @pytest.fixture
 def mt_kernel():
     return compile_kernel(MT_SOURCE)

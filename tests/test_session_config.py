@@ -47,6 +47,8 @@ def test_registry_covers_every_historical_env_var():
         "REPRO_CODEGEN_CACHE_DIR",
         "REPRO_TUNE_MODEL",
         "REPRO_TUNE_THRESHOLD",
+        "REPRO_POOL_PERSIST",
+        "REPRO_POOL_SHM",
     }
     # name <-> env spelling is a bijection
     assert len(REGISTRY) == len(ENV_REGISTRY)
